@@ -1,0 +1,58 @@
+"""Figure 14: System Value vs arrival rate — (a) one class, (b) two classes.
+
+Paper claims: with one class SCC-VW gives only a minor improvement over
+SCC-2S (speculation already caps the penalty of commits); with the 10%/90%
+two-class mix SCC-VW's value-cognizance pays off more clearly; both SCC
+variants dominate OCC-BC and WAIT-50 at high load.
+"""
+
+from repro.experiments.figures import run_fig14a, run_fig14b
+from repro.metrics.report import format_series_table
+
+
+def test_fig14a_system_value_one_class(benchmark, bench_config):
+    results = benchmark.pedantic(
+        lambda: run_fig14a(bench_config), rounds=1, iterations=1
+    )
+    rates = bench_config.arrival_rates
+    series = {name: sweep.system_value() for name, sweep in results.items()}
+    print()
+    print(
+        format_series_table(
+            "arrival_rate",
+            list(rates),
+            series,
+            title="Figure 14(a): System Value (%), one class",
+        )
+    )
+    high = len(rates) - 1
+    # SCC protocols earn at least as much value as the OCC family at the
+    # high-contention point; SCC-VW is at worst marginally below SCC-2S.
+    assert series["SCC-VW"][high] >= series["OCC-BC"][high] - 0.5
+    assert series["SCC-2S"][high] >= series["OCC-BC"][high] - 0.5
+    assert series["SCC-VW"][high] >= series["SCC-2S"][high] - 1.0
+
+
+def test_fig14b_system_value_two_classes(benchmark, bench_two_class_config):
+    results = benchmark.pedantic(
+        lambda: run_fig14b(bench_two_class_config), rounds=1, iterations=1
+    )
+    rates = bench_two_class_config.arrival_rates
+    series = {name: sweep.system_value() for name, sweep in results.items()}
+    print()
+    print(
+        format_series_table(
+            "arrival_rate",
+            list(rates),
+            series,
+            title="Figure 14(b): System Value (%), two classes (10% / 90%)",
+        )
+    )
+    high = len(rates) - 1
+    # The paper's headline: under heterogeneous values SCC-VW's
+    # value-cognizance clearly pays off over value-oblivious speculation
+    # and over OCC-BC.  (WAIT-50's exact position at a single reduced-
+    # scale point is noisy; the full-scale relation is recorded in
+    # EXPERIMENTS.md.)
+    assert series["SCC-VW"][high] > series["SCC-2S"][high]
+    assert series["SCC-VW"][high] > series["OCC-BC"][high]

@@ -1,0 +1,41 @@
+"""Figure 3 / §2: shadow requirements of SCC-OB vs SCC-CB (analytic).
+
+Regenerates the factorial-vs-quadratic comparison: SCC-OB needs
+``Σ (n-1)!/(n-i)! = O((n-1)!)`` shadows per transaction while SCC-CB needs
+at most ``n`` concurrently and creates at most ``n(n-1)/2`` in total.
+"""
+
+from repro.core.shadow_counts import (
+    figure3_table,
+    scc_ob_shadows,
+    scc_ob_shadows_enumerated,
+)
+from repro.metrics.report import format_table
+
+
+def test_fig3_shadow_count_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure3_table(max_n=10), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["n", "SCC-OB shadows", "SCC-CB concurrent", "SCC-CB total"],
+            rows,
+            title="Figure 3 / §2: shadows per transaction, n pairwise conflicts",
+        )
+    )
+    # The paper's n=3 instance: five shadows for T3 under SCC-OB, three
+    # under SCC-CB.
+    assert rows[2] == (3, 5, 3, 3)
+    # Factorial vs quadratic growth.
+    assert rows[9][1] > 100_000
+    assert rows[9][3] == 45
+
+
+def test_fig3_enumeration_cross_check(benchmark):
+    def enumerate_all():
+        return [scc_ob_shadows_enumerated(n) for n in range(1, 9)]
+
+    enumerated = benchmark.pedantic(enumerate_all, rounds=1, iterations=1)
+    assert enumerated == [scc_ob_shadows(n) for n in range(1, 9)]

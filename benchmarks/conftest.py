@@ -1,0 +1,45 @@
+"""Shared benchmark configuration.
+
+Benchmarks run *reduced-scale* versions of the paper's experiments (fewer
+transactions, fewer arrival-rate points, one replication) so the whole
+harness completes in minutes; the full-scale runs behind EXPERIMENTS.md go
+through ``scc-experiments`` (see README).  Each benchmark prints the same
+series its paper figure plots and asserts the figure's qualitative shape
+(who wins, where the crossover falls).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import baseline_config, two_class_config
+
+# Reduced-scale sweep: the low-contention anchor (40), the paper's "all
+# protocols healthy" point (70), and the high-contention knee (150).
+BENCH_RATES = (40.0, 70.0, 150.0)
+BENCH_TXNS = 600
+BENCH_WARMUP = 60
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """One-class baseline model at benchmark scale."""
+    return baseline_config(
+        num_transactions=BENCH_TXNS,
+        warmup_commits=BENCH_WARMUP,
+        replications=1,
+        arrival_rates=BENCH_RATES,
+        check_serializability=False,  # measured separately in tests
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_two_class_config():
+    """Two-class (Figure 14(b)) model at benchmark scale."""
+    return two_class_config(
+        num_transactions=BENCH_TXNS,
+        warmup_commits=BENCH_WARMUP,
+        replications=1,
+        arrival_rates=BENCH_RATES,
+        check_serializability=False,
+    )

@@ -1,0 +1,79 @@
+"""Protocol shootout: every concurrency control on the same workloads.
+
+Replays the paper's Figure 13 comparison at small scale: identical
+workload streams (same seeds) through 2PL-PA, basic OCC, OCC-BC, WAIT-50,
+SCC-2S, SCC-CB, and SCC-VW, across three load levels, printing Missed
+Ratio, Average Tardiness, restarts, and wasted work side by side.
+
+Run:  python examples/protocol_shootout.py [--transactions N]
+"""
+
+import argparse
+
+from repro import (
+    BasicOCC,
+    OCCBroadcastCommit,
+    SCC2S,
+    SCCCB,
+    SCCVW,
+    TwoPhaseLockingPA,
+    Wait50,
+)
+from repro.experiments.config import baseline_config
+from repro.experiments.runner import run_once
+from repro.metrics.report import format_table
+
+PROTOCOLS = {
+    "2PL-PA": TwoPhaseLockingPA,
+    "OCC": BasicOCC,
+    "OCC-BC": OCCBroadcastCommit,
+    "WAIT-50": Wait50,
+    "SCC-2S": SCC2S,
+    "SCC-CB": SCCCB,
+    "SCC-VW": lambda: SCCVW(period=0.01),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--transactions", type=int, default=800)
+    args = parser.parse_args()
+
+    config = baseline_config(
+        num_transactions=args.transactions,
+        warmup_commits=max(10, args.transactions // 10),
+        replications=1,
+    )
+    for rate in (40.0, 100.0, 160.0):
+        rows = []
+        for name, factory in PROTOCOLS.items():
+            summary = run_once(factory, config, arrival_rate=rate)
+            rows.append(
+                (
+                    name,
+                    summary.missed_ratio,
+                    summary.avg_tardiness_late * 1e3,
+                    summary.restarts,
+                    summary.shadow_aborts,
+                    100.0 * summary.wasted_fraction,
+                )
+            )
+        print(
+            format_table(
+                [
+                    "protocol",
+                    "missed %",
+                    "tardiness ms",
+                    "restarts",
+                    "shadow aborts",
+                    "wasted %",
+                ],
+                rows,
+                title=f"\n=== arrival rate {rate:g} txn/s "
+                f"({args.transactions} transactions) ===",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: run the paper's baseline workload under SCC-2S.
+
+Builds the §4 baseline model (1,000-page database, 16-page transactions,
+25% updates, slack factor 2), pushes 1,000 transactions through SCC-2S at
+75 transactions/second on an infinite-resource RTDBS, and prints the
+primary measures plus a serializability check.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    RTDBSystem,
+    RandomStreams,
+    SCC2S,
+    TransactionClass,
+    WorkloadGenerator,
+    check_serializable,
+)
+
+
+def main() -> None:
+    baseline = TransactionClass(
+        name="baseline",
+        num_steps=16,  # pages accessed per transaction
+        write_probability=0.25,  # chance each page is updated
+        slack_factor=2.0,  # deadline = arrival + 2 x estimated runtime
+    )
+    generator = WorkloadGenerator(
+        classes=[baseline],
+        num_pages=1_000,
+        arrival_rate=75.0,  # Poisson arrivals, transactions per second
+        step_duration=0.008,  # 1 ms CPU + 7 ms I/O per page
+        streams=RandomStreams(seed=42),
+    )
+
+    system = RTDBSystem(protocol=SCC2S(), num_pages=1_000)
+    system.load_workload(generator.generate(1_000))
+    system.run()
+
+    summary = system.metrics.summary()
+    print(f"committed transactions : {summary.committed}")
+    print(f"missed ratio           : {summary.missed_ratio:.2f} %")
+    print(f"avg tardiness (late)   : {summary.avg_tardiness_late * 1e3:.1f} ms")
+    print(f"avg response time      : {summary.avg_response_time * 1e3:.1f} ms")
+    print(f"transaction restarts   : {summary.restarts}")
+    print(f"shadow aborts          : {summary.shadow_aborts}")
+    print(f"wasted work fraction   : {summary.wasted_fraction:.1%}")
+    print(f"history serializable   : {check_serializable(system.history)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Value-cognizant scheduling for a telecom billing RTDBS.
+
+The paper's §3 motivation in a concrete setting: a billing database serves
+two very different transaction classes —
+
+* **fraud-check** (10% of traffic): long (32 pages), tight deadline
+  (slack 1.5), very valuable when on time (a blocked fraudulent call), and
+  steeply penalized when late (the call completes unbilled).
+* **usage-update** (90%): short (14 pages), loose deadline, low value,
+  mild penalty (the record just posts late).
+
+This is exactly the Figure 14(b) two-class mix.  The example compares a
+value-oblivious speculative protocol (SCC-2S) with the value-cognizant
+SCC-VW and shows where the extra System Value comes from: the per-class
+breakdown reveals SCC-VW deferring cheap usage-updates whenever doing so
+keeps a fraud-check on time.
+
+Run:  python examples/telecom_billing.py [--rate TPS]
+"""
+
+import argparse
+import math
+
+from repro import RTDBSystem, RandomStreams, SCC2S, SCCVW, TransactionClass, WorkloadGenerator
+from repro.metrics.report import format_table
+
+FRAUD_CHECK = TransactionClass(
+    name="fraud-check",
+    num_steps=32,
+    write_probability=0.25,
+    slack_factor=1.5,
+    value=5.5,
+    alpha_degrees=math.degrees(math.atan(5.5)),  # steep: tan α = 5.5
+    weight=0.1,
+)
+USAGE_UPDATE = TransactionClass(
+    name="usage-update",
+    num_steps=14,
+    write_probability=0.25,
+    slack_factor=2.0,
+    value=0.5,
+    alpha_degrees=math.degrees(math.atan(0.5)),  # shallow: tan α = 0.5
+    weight=0.9,
+)
+
+
+def run(protocol, rate: float, transactions: int, seed: int):
+    generator = WorkloadGenerator(
+        classes=[FRAUD_CHECK, USAGE_UPDATE],
+        num_pages=1_000,
+        arrival_rate=rate,
+        step_duration=0.008,
+        streams=RandomStreams(seed),
+    )
+    system = RTDBSystem(protocol=protocol, num_pages=1_000)
+    system.load_workload(generator.generate(transactions))
+    system.run()
+    return system.metrics.summary()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=120.0)
+    parser.add_argument("--transactions", type=int, default=1_000)
+    args = parser.parse_args()
+
+    rows = []
+    for name, factory in (
+        ("SCC-2S (value-oblivious)", SCC2S),
+        ("SCC-VW (value-cognizant)", lambda: SCCVW(period=0.01)),
+    ):
+        summary = run(factory(), args.rate, args.transactions, seed=7)
+        rows.append(
+            (
+                name,
+                summary.system_value,
+                summary.per_class_value.get("fraud-check", 0.0),
+                summary.per_class_value.get("usage-update", 0.0),
+                summary.missed_ratio,
+                summary.deferred_commits,
+            )
+        )
+    print(
+        format_table(
+            [
+                "protocol",
+                "system value %",
+                "fraud-check value %",
+                "usage-update value %",
+                "missed %",
+                "deferred commits",
+            ],
+            rows,
+            title=f"Telecom billing mix at {args.rate:g} txn/s "
+            f"({args.transactions} transactions)",
+        )
+    )
+    gain = rows[1][1] - rows[0][1]
+    print(
+        f"\nValue-cognizant deferment changed System Value by "
+        f"{gain:+.2f} percentage points."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Full-scale experiment driver behind EXPERIMENTS.md.
+
+Runs every figure of the paper at (near-)paper scale — 4000 completed
+transactions per run, multiple replications, the 10-200 tps sweep — and
+writes one JSON blob plus printable tables under results/.
+
+Usage:  python scripts/full_experiments.py [--quick]
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.config import baseline_config, two_class_config
+from repro.experiments.figures import (
+    fig13_protocols,
+    fig14_protocols,
+    run_ablation_k,
+    run_sweep,
+)
+from repro.metrics.report import format_series_table
+
+RATES = (10, 25, 50, 75, 100, 125, 150, 175, 200)
+
+
+def sweep_to_dict(results):
+    out = {}
+    for name, sweep in results.items():
+        out[name] = {
+            "rates": list(sweep.arrival_rates),
+            "missed": sweep.missed_ratio(),
+            "tardiness": sweep.avg_tardiness(),
+            "value": sweep.system_value(),
+            "restarts": sweep.metric(lambda s: float(s.restarts)),
+            "wasted_fraction": sweep.metric(lambda s: s.wasted_fraction),
+            "deferred": sweep.metric(lambda s: float(s.deferred_commits)),
+        }
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+    txns = 1000 if args.quick else 4000
+    reps = 1 if args.quick else 2
+    base = baseline_config(
+        num_transactions=txns, warmup_commits=200 if not args.quick else 50,
+        replications=reps, arrival_rates=RATES,
+    )
+    two = two_class_config(
+        num_transactions=txns, warmup_commits=200 if not args.quick else 50,
+        replications=reps, arrival_rates=RATES,
+    )
+
+    def progress(name, rate, rep):
+        print(f"  [{time.strftime('%H:%M:%S')}] {name} rate={rate} rep={rep}",
+              file=sys.stderr, flush=True)
+
+    blob = {"config": {"transactions": txns, "replications": reps,
+                       "rates": list(RATES), "step_ms": base.step_duration * 1e3}}
+    t0 = time.time()
+
+    print("== Figure 13 (baseline: missed ratio + tardiness) ==", flush=True)
+    r13 = run_sweep(fig13_protocols(), base, progress=progress)
+    blob["fig13"] = sweep_to_dict(r13)
+    print(format_series_table("rate", list(RATES),
+          {n: s.missed_ratio() for n, s in r13.items()}, "Fig 13(a) Missed Ratio (%)"))
+    print(format_series_table("rate", list(RATES),
+          {n: s.avg_tardiness() for n, s in r13.items()}, "Fig 13(b) Avg Tardiness (s)"))
+
+    print("== Figures 14(a)/15 (one-class value runs) ==", flush=True)
+    r14a = run_sweep(fig14_protocols(), base, progress=progress)
+    blob["fig14a_fig15"] = sweep_to_dict(r14a)
+    print(format_series_table("rate", list(RATES),
+          {n: s.system_value() for n, s in r14a.items()}, "Fig 14(a) System Value (%)"))
+    print(format_series_table("rate", list(RATES),
+          {n: s.missed_ratio() for n, s in r14a.items()}, "Fig 15(a) Missed Ratio (%)"))
+    print(format_series_table("rate", list(RATES),
+          {n: s.avg_tardiness() for n, s in r14a.items()}, "Fig 15(b) Avg Tardiness (s)"))
+
+    print("== Figure 14(b) (two-class value runs) ==", flush=True)
+    r14b = run_sweep(fig14_protocols(), two, progress=progress)
+    blob["fig14b"] = sweep_to_dict(r14b)
+    print(format_series_table("rate", list(RATES),
+          {n: s.system_value() for n, s in r14b.items()}, "Fig 14(b) System Value (%)"))
+
+    print("== Ablation A1 (k sweep) ==", flush=True)
+    rk = run_ablation_k(base.scaled(arrival_rates=[70, 150]), ks=(1, 2, 3, 5, None))
+    blob["ablation_k"] = sweep_to_dict(rk)
+    print(format_series_table("rate", [70, 150],
+          {n: s.missed_ratio() for n, s in rk.items()}, "A1 Missed Ratio (%) by k"))
+
+    blob["elapsed_seconds"] = time.time() - t0
+    with open("results/full_experiments.json", "w") as fh:
+        json.dump(blob, fh, indent=2)
+    print(f"done in {blob['elapsed_seconds']:.0f}s -> results/full_experiments.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` on environments without
+the `wheel` package (offline boxes), via the pre-PEP-660 editable path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro — Value-cognizant Speculative Concurrency Control.
+
+A complete, self-contained reproduction of *"Value-cognizant Speculative
+Concurrency Control"* (Bestavros & Braoudakis, Boston University CS
+TR-1995-005): a discrete-event simulated real-time database system, the
+SCC protocol family (SCC-kS / SCC-2S / SCC-CB / SCC-DC / SCC-VW), the
+paper's baselines (2PL-PA, OCC, OCC-BC, WAIT-50), transaction value
+functions, and the full experiment harness regenerating every figure in
+the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        RTDBSystem, SCC2S, WorkloadGenerator, RandomStreams, TransactionClass,
+    )
+
+    streams = RandomStreams(seed=42)
+    generator = WorkloadGenerator(
+        classes=[TransactionClass("base", num_steps=16,
+                                  write_probability=0.25, slack_factor=2.0)],
+        num_pages=1000, arrival_rate=50.0, step_duration=0.006,
+        streams=streams,
+    )
+    system = RTDBSystem(protocol=SCC2S(), num_pages=1000)
+    system.load_workload(generator.generate(1000))
+    system.run()
+    print(system.metrics.summary())
+"""
+
+from repro.analysis import History, check_serializable, serialization_order
+from repro.core import (
+    SCC2S,
+    SCCCB,
+    SCCDC,
+    SCCVW,
+    DeadlineAwareReplacement,
+    LatestBlockedFirstOut,
+    SCCkS,
+    ValueAwareReplacement,
+)
+from repro.core.shadow_counts import figure3_table
+from repro.engine import RandomStreams, Simulator
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.metrics import MetricsCollector, RunSummary, mean_confidence_interval
+from repro.protocols import (
+    BasicOCC,
+    OCCBroadcastCommit,
+    SerialExecution,
+    TwoPhaseLockingPA,
+    Wait50,
+)
+from repro.system import FiniteResources, InfiniteResources, RTDBSystem
+from repro.txn import Step, TransactionSpec, WorkloadGenerator
+from repro.values import TransactionClass, ValueFunction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicOCC",
+    "ConfigurationError",
+    "DeadlineAwareReplacement",
+    "FiniteResources",
+    "History",
+    "InfiniteResources",
+    "InvariantViolation",
+    "LatestBlockedFirstOut",
+    "MetricsCollector",
+    "OCCBroadcastCommit",
+    "ProtocolError",
+    "RTDBSystem",
+    "RandomStreams",
+    "ReproError",
+    "RunSummary",
+    "SCC2S",
+    "SCCCB",
+    "SCCDC",
+    "SCCVW",
+    "SCCkS",
+    "SerialExecution",
+    "SimulationError",
+    "Simulator",
+    "Step",
+    "TransactionClass",
+    "TransactionSpec",
+    "TwoPhaseLockingPA",
+    "ValueAwareReplacement",
+    "ValueFunction",
+    "Wait50",
+    "WorkloadGenerator",
+    "check_serializable",
+    "figure3_table",
+    "mean_confidence_interval",
+    "serialization_order",
+]

@@ -1,0 +1,19 @@
+"""Correctness analysis: committed histories and serializability checking."""
+
+from repro.analysis.history import CommittedTransaction, History
+from repro.analysis.serializability import (
+    check_serializable,
+    precedence_graph,
+    serialization_order,
+)
+from repro.analysis.timeline import TimelineEvent, TimelineRecorder
+
+__all__ = [
+    "CommittedTransaction",
+    "History",
+    "TimelineEvent",
+    "TimelineRecorder",
+    "check_serializable",
+    "precedence_graph",
+    "serialization_order",
+]

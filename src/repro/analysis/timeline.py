@@ -1,0 +1,179 @@
+"""ASCII execution timelines for SCC runs (paper-figure-style diagrams).
+
+Attach a :class:`TimelineRecorder` to any SCC protocol's ``observer`` hook
+before running, then :meth:`TimelineRecorder.render` draws one lane per
+shadow, with the same visual vocabulary as the paper's figures:
+
+* ``=`` executing, ``.`` blocked, ``S`` spawn, ``B`` blocking point,
+  ``P`` promotion, ``F`` finished (awaiting commitment), ``C`` commit,
+  ``A`` abort, ``R`` restart-from-scratch.
+
+Example output for the Figure 2(b) conflict::
+
+    T0 shadow#0 opt   S==C
+    T1 shadow#1 opt   S==×
+    T1 shadow#2 spec   SB..P===C
+
+The renderer is deliberately simulation-agnostic: it only consumes the
+observer events plus the simulated clock, so it works for any SCC variant
+and any workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.scc_base import SCCProtocolBase
+    from repro.core.shadow import Shadow
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One observed shadow-lifecycle event."""
+
+    time: float
+    kind: str
+    txn_id: int
+    lane: int  # shadow serial number
+    mode: str
+    position: int
+
+
+@dataclass
+class _Lane:
+    txn_id: int
+    serial: int
+    mode: str
+    promoted: bool = False
+    events: list[TimelineEvent] = field(default_factory=list)
+
+
+class TimelineRecorder:
+    """Records shadow lifecycle events and renders an ASCII timeline.
+
+    Usage::
+
+        protocol = SCC2S()
+        recorder = TimelineRecorder()
+        recorder.attach(protocol)
+        ... run the system ...
+        print(recorder.render())
+    """
+
+    _KINDS = {"spawn", "block", "promote", "restart", "kill", "finish", "commit"}
+
+    def __init__(self) -> None:
+        self._protocol: Optional["SCCProtocolBase"] = None
+        self._lanes: dict[int, _Lane] = {}
+        self.events: list[TimelineEvent] = []
+
+    def attach(self, protocol: "SCCProtocolBase") -> None:
+        """Install this recorder as the protocol's observer."""
+        if protocol.observer is not None:
+            raise ConfigurationError("protocol already has an observer")
+        self._protocol = protocol
+        protocol.observer = self._observe
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def _observe(self, kind: str, txn_id: int, shadow: Optional["Shadow"]) -> None:
+        if kind not in self._KINDS:  # pragma: no cover - future-proofing
+            return
+        if shadow is None:  # pragma: no cover - all current events carry one
+            return
+        now = 0.0
+        if self._protocol is not None and self._protocol.system is not None:
+            now = self._protocol.system.sim.now
+        lane = self._lanes.get(shadow.serial)
+        if lane is None:
+            lane = _Lane(txn_id=txn_id, serial=shadow.serial, mode=shadow.mode.value)
+            self._lanes[shadow.serial] = lane
+        if kind == "promote":
+            lane.promoted = True
+        event = TimelineEvent(
+            time=now,
+            kind=kind,
+            txn_id=txn_id,
+            lane=shadow.serial,
+            mode=lane.mode,
+            position=shadow.pos,
+        )
+        lane.events.append(event)
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def render(self, width: int = 72) -> str:
+        """Draw the recorded run as one text lane per shadow.
+
+        Args:
+            width: Character budget for the time axis; the run's duration
+                is scaled to fit.
+        """
+        if not self.events:
+            return "(no shadow events recorded)"
+        if width < 8:
+            raise ConfigurationError(f"width must be >= 8, got {width}")
+        t_max = max(e.time for e in self.events)
+        scale = (width - 1) / t_max if t_max > 0 else 0.0
+
+        def column(t: float) -> int:
+            return min(int(round(t * scale)), width - 1)
+
+        marker = {
+            "spawn": "S",
+            "block": "B",
+            "promote": "P",
+            "restart": "R",
+            "kill": "A",
+            "finish": "F",
+            "commit": "C",
+        }
+        lines = []
+        label_width = max(
+            len(self._label(lane)) for lane in self._lanes.values()
+        )
+        for serial in sorted(self._lanes):
+            lane = self._lanes[serial]
+            row = [" "] * width
+            # Fill activity between consecutive events: '=' while running,
+            # '.' while blocked.
+            for prev, nxt in zip(lane.events, lane.events[1:]):
+                fill = "." if prev.kind == "block" else "="
+                for col in range(column(prev.time) + 1, column(nxt.time)):
+                    row[col] = fill
+            for event in lane.events:
+                row[column(event.time)] = marker[event.kind]
+            lines.append(
+                f"{self._label(lane).ljust(label_width)}  {''.join(row).rstrip()}"
+            )
+        header = f"{'lane'.ljust(label_width)}  0{'-' * (width - 8)}t={t_max:g}"
+        return "\n".join([header] + lines)
+
+    @staticmethod
+    def _label(lane: _Lane) -> str:
+        if lane.mode == "optimistic":
+            tag = "opt     "
+        elif lane.promoted:
+            tag = "spec>opt"
+        else:
+            tag = "spec    "
+        return f"T{lane.txn_id} shadow#{lane.serial} {tag}"
+
+    def lanes_for(self, txn_id: int) -> list[int]:
+        """Shadow serial numbers recorded for one transaction."""
+        return sorted(
+            serial for serial, lane in self._lanes.items() if lane.txn_id == txn_id
+        )
+
+    def events_for(self, txn_id: int) -> list[TimelineEvent]:
+        """All events of one transaction in time order."""
+        return [e for e in self.events if e.txn_id == txn_id]

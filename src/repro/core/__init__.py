@@ -1,0 +1,48 @@
+"""The paper's contribution: Speculative Concurrency Control protocols.
+
+* :class:`repro.core.scc_ks.SCCkS` — the k-shadow algorithm (§2.1) with
+  pluggable shadow-replacement policies (LBFO and value/deadline-aware
+  alternatives).
+* :class:`repro.core.scc_2s.SCC2S` — the two-shadow special case (§2.2).
+* :class:`repro.core.scc_cb.SCCCB` — conflict-based SCC (unlimited
+  shadows, one per conflicting transaction).
+* :class:`repro.core.scc_dc.SCCDC` — value-cognizant deferred commitment
+  (§3.2) built on finish/adoption probabilities.
+* :class:`repro.core.scc_vw.SCCVW` — the voted-waiting approximation
+  (§3.3) used in the paper's evaluation.
+* :mod:`repro.core.shadow_counts` — analytic shadow-count model for
+  SCC-OB vs SCC-CB (§2, Figure 3).
+"""
+
+from repro.core.conflict_table import AccessIndex, ConflictRecord, ConflictTable
+from repro.core.replacement import (
+    DeadlineAwareReplacement,
+    LatestBlockedFirstOut,
+    ReplacementPolicy,
+    ValueAwareReplacement,
+)
+from repro.core.scc_2s import SCC2S
+from repro.core.scc_base import SCCProtocolBase, SCCTxnRuntime
+from repro.core.scc_cb import SCCCB
+from repro.core.scc_dc import SCCDC
+from repro.core.scc_ks import SCCkS
+from repro.core.scc_vw import SCCVW
+from repro.core.shadow import Shadow, ShadowMode
+
+__all__ = [
+    "AccessIndex",
+    "ConflictRecord",
+    "ConflictTable",
+    "DeadlineAwareReplacement",
+    "LatestBlockedFirstOut",
+    "ReplacementPolicy",
+    "SCC2S",
+    "SCCCB",
+    "SCCDC",
+    "SCCProtocolBase",
+    "SCCTxnRuntime",
+    "SCCVW",
+    "SCCkS",
+    "Shadow",
+    "ShadowMode",
+]

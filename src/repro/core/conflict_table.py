@@ -1,0 +1,169 @@
+"""Conflict bookkeeping for SCC.
+
+Two structures:
+
+* :class:`AccessIndex` — the global, transaction-level view of who has
+  read and written which pages (cumulative across all shadows; shadows of
+  a transaction replay the same program, so transaction-level sets are
+  well defined prefixes).  It answers the detection queries of the Read
+  and Write Rules.
+* :class:`ConflictTable` — per *reader* transaction: for each uncommitted
+  *writer* it conflicts with, the set of conflicting pages and the position
+  of the reader's **first** read of any of them.  That first position is
+  where a speculative shadow accounting for the conflict must block (the
+  paper's Figures 5 and 6: a newly discovered earlier conflict page moves
+  the blocking point forward and forces a shadow replacement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import InvariantViolation
+
+
+@dataclass
+class ConflictRecord:
+    """One directed conflict ``writer -> reader`` (reader's perspective).
+
+    Attributes:
+        writer: Transaction id whose commit would invalidate the reader.
+        pages: Conflicting pages (writer wrote them, reader read/reads them).
+        first_pos: Reader's earliest program position reading any of them.
+    """
+
+    writer: int
+    pages: set[int] = field(default_factory=set)
+    first_pos: int = 0
+
+    def merge(self, page: int, position: int) -> bool:
+        """Fold in one more conflicting page.  Returns True if changed."""
+        changed = page not in self.pages
+        self.pages.add(page)
+        if position < self.first_pos:
+            self.first_pos = position
+            changed = True
+        return changed
+
+
+class ConflictTable:
+    """Per-transaction table of uncommitted writers it conflicts with."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, ConflictRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, writer: int) -> bool:
+        return writer in self._records
+
+    def writers(self) -> list[int]:
+        """All conflicting writer ids."""
+        return list(self._records)
+
+    def record(self, writer: int, page: int, position: int) -> bool:
+        """Record a conflict page.  Returns True if the table changed."""
+        existing = self._records.get(writer)
+        if existing is None:
+            self._records[writer] = ConflictRecord(
+                writer=writer, pages={page}, first_pos=position
+            )
+            return True
+        return existing.merge(page, position)
+
+    def get(self, writer: int) -> Optional[ConflictRecord]:
+        """The record for ``writer``, or ``None``."""
+        return self._records.get(writer)
+
+    def remove_writer(self, writer: int) -> None:
+        """Drop the conflict with ``writer`` (it committed).  Idempotent."""
+        self._records.pop(writer, None)
+
+    def records(self) -> list[ConflictRecord]:
+        """All records, ordered by first conflict position then writer id."""
+        return sorted(self._records.values(), key=lambda r: (r.first_pos, r.writer))
+
+
+class AccessIndex:
+    """Global transaction-level access tracking for conflict detection."""
+
+    def __init__(self) -> None:
+        self._page_readers: dict[int, set[int]] = {}
+        self._page_writers: dict[int, set[int]] = {}
+        self._txn_reads: dict[int, dict[int, int]] = {}  # txn -> page -> first pos
+        self._txn_writes: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def add_read(self, txn_id: int, page: int, position: int) -> None:
+        """Record that ``txn_id``'s program reads ``page`` at ``position``."""
+        reads = self._txn_reads.setdefault(txn_id, {})
+        prior = reads.get(page)
+        if prior is None or position < prior:
+            reads[page] = position
+        self._page_readers.setdefault(page, set()).add(txn_id)
+
+    def add_write(self, txn_id: int, page: int) -> None:
+        """Record that ``txn_id``'s program writes ``page``."""
+        self._txn_writes.setdefault(txn_id, set()).add(page)
+        self._page_writers.setdefault(page, set()).add(txn_id)
+
+    def remove_txn(self, txn_id: int) -> None:
+        """Forget a committed (or permanently gone) transaction."""
+        for page in self._txn_reads.pop(txn_id, {}):
+            readers = self._page_readers.get(page)
+            if readers is not None:
+                readers.discard(txn_id)
+                if not readers:
+                    del self._page_readers[page]
+        for page in self._txn_writes.pop(txn_id, set()):
+            writers = self._page_writers.get(page)
+            if writers is not None:
+                writers.discard(txn_id)
+                if not writers:
+                    del self._page_writers[page]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def writers_of(self, page: int) -> set[int]:
+        """Uncommitted transactions whose program writes ``page``."""
+        return set(self._page_writers.get(page, ()))
+
+    def readers_of(self, page: int) -> set[int]:
+        """Uncommitted transactions whose program reads ``page``."""
+        return set(self._page_readers.get(page, ()))
+
+    def written_by(self, txn_id: int) -> set[int]:
+        """Pages written (so far) by ``txn_id``'s program."""
+        return self._txn_writes.get(txn_id, set())
+
+    def writes_page(self, txn_id: int, page: int) -> bool:
+        """Whether ``txn_id``'s program (as observed so far) writes ``page``."""
+        return page in self._txn_writes.get(txn_id, ())
+
+    def first_read_position(self, txn_id: int, page: int) -> int:
+        """Reader's first observed position reading ``page``.
+
+        Raises:
+            InvariantViolation: If the read was never recorded (detection
+                logic out of sync).
+        """
+        try:
+            return self._txn_reads[txn_id][page]
+        except KeyError:
+            raise InvariantViolation(
+                f"no recorded read of page {page} by T{txn_id}"
+            ) from None
+
+    def blocked_page_for(self, txn_id: int, wait_for: Iterable[int]) -> set[int]:
+        """Pages written by any transaction in ``wait_for`` (blocking set)."""
+        pages: set[int] = set()
+        for writer in wait_for:
+            pages |= self._txn_writes.get(writer, set())
+        return pages

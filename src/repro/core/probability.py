@@ -1,0 +1,317 @@
+"""Probabilistic machinery for SCC-DC (paper §3.2, Definitions 4-7).
+
+* **Shadow finish probability** (Def. 4): the conditional probability that
+  a shadow which has already executed ε time units finishes by wall time
+  ``x``, computed from the class survival function
+  ``(F(ε) - F(ε + x - now)) / F(ε)``; a speculative shadow is assumed to
+  resume immediately (the paper's footnote 6).
+* **Shadow adoption probability** (Def. 5): the value-weighted recursive
+  formula for how likely each shadow is to end up committing on behalf of
+  its transaction.  The formula is mutually recursive across conflicting
+  transactions (``P_o_u`` depends on the partners' ``P_o``), so we solve it
+  by fixed-point iteration from ``P_o = 1``; values are clamped at zero for
+  probability purposes (a tardy transaction with negative value has no
+  pull on serialization-order likelihoods).
+* **Expected finish / expected value** (Defs. 6-7) evaluated at the Δ-tick
+  grid the Termination Rule uses.
+
+Faithfulness note: the paper's ``V_now``/``V_later`` write the *same*
+``Σ_i Σ_k EV_i`` term on both sides, and sum ``EV`` (built from the
+*cumulative* finish probability) over ticks.  Taken literally that (a)
+cancels the conflict terms, making deferral never preferable for a
+non-increasing value function, and (b) double-counts probability mass
+across ticks.  We implement the evident intent (cf. Figure 10 and the
+Haritsa WAIT policy the section builds on): per-tick probability
+*increments* (a proper expectation over commit instants), and conflict
+terms conditioned on the decision — partners are evaluated in the
+"committer commits now" world for ``V_now`` (their exposed shadows die and
+the surviving shadow resumes) and in the "committer defers" world for
+``V_later``.  Both readings agree on the self term and on conflict-free
+transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.values.distributions import DeterministicExecution, ExecutionDistribution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.scc_base import SCCProtocolBase, SCCTxnRuntime
+    from repro.core.shadow import Shadow
+
+# Fixed-point iterations for the mutually recursive adoption formula; the
+# mapping is a contraction in practice and converges in a handful of steps.
+_ADOPTION_ITERATIONS = 8
+# Hard cap on Δ-ticks summed per component (safety valve for tiny Δ).
+_MAX_TICKS = 2_000
+
+
+def execution_distribution(runtime: "SCCTxnRuntime") -> ExecutionDistribution:
+    """The class execution-time distribution, defaulting to deterministic."""
+    dist = runtime.spec.txn_class.execution
+    if dist is not None:
+        return dist
+    return DeterministicExecution(runtime.spec.estimated_duration)
+
+
+def mean_execution_time(runtime: "SCCTxnRuntime") -> float:
+    """The paper's ``E_C``: the class's average execution time."""
+    return execution_distribution(runtime).mean()
+
+
+def elapsed_execution(
+    shadow: "Shadow", step_time: float, now: Optional[float] = None
+) -> float:
+    """Execution time a shadow has consumed (ε in the paper).
+
+    Completed steps plus the in-flight fraction of the current step when
+    the shadow is mid-service (for a never-blocked optimistic shadow this
+    equals ``now - arrival``, the paper's ε for optimistic shadows).
+    """
+    from repro.protocols.base import ExecutionState  # local to avoid cycle
+
+    base = shadow.pos * step_time
+    if (
+        now is not None
+        and shadow.state is ExecutionState.RUNNING
+        and shadow.step_started_at is not None
+    ):
+        base += min(max(now - shadow.step_started_at, 0.0), step_time)
+    return base
+
+
+def shadow_finish_probability(
+    dist: ExecutionDistribution, elapsed: float, now: float, wall: float
+) -> float:
+    """Definition 4: probability of finishing by wall time ``wall``."""
+    if wall < now:
+        return 0.0
+    return dist.conditional_finish_by(elapsed + (wall - now), elapsed)
+
+
+@dataclass
+class AdoptionProfile:
+    """Adoption probabilities of one transaction's shadows (Def. 5).
+
+    ``p_optimistic + Σ p_writer.values() == 1`` by construction; writers
+    whose conflicts have no live shadow still carry their probability mass
+    (it corresponds to the from-scratch fallback the Commit Rule uses).
+    """
+
+    p_optimistic: float
+    p_writer: dict[int, float] = field(default_factory=dict)
+
+    def total(self) -> float:
+        """Total probability mass (should be 1)."""
+        return self.p_optimistic + sum(self.p_writer.values())
+
+
+def adoption_profiles(
+    protocol: "SCCProtocolBase",
+    now: float,
+    exclude: Optional[int] = None,
+) -> dict[int, AdoptionProfile]:
+    """Solve Definition 5 for every active transaction.
+
+    Args:
+        protocol: The SCC protocol (gives the runtimes and conflict tables).
+        now: Evaluation time ``t``.
+        exclude: Optional transaction id to treat as already departed
+            (used to evaluate the "committer commits now" world).
+    """
+    runtimes = {
+        rt.txn_id: rt for rt in protocol.runtimes() if rt.txn_id != exclude
+    }
+    values = {
+        txn_id: max(rt.spec.value_function(now), 0.0)
+        for txn_id, rt in runtimes.items()
+    }
+    p_opt = {txn_id: 1.0 for txn_id in runtimes}
+    writers_of = {
+        txn_id: [
+            w
+            for w in rt.conflicts.writers()
+            if w != exclude and w in runtimes
+        ]
+        for txn_id, rt in runtimes.items()
+    }
+    for _ in range(_ADOPTION_ITERATIONS):
+        new_p = {}
+        for txn_id, rt in runtimes.items():
+            denom = values[txn_id] + sum(
+                values[w] * p_opt[w] for w in writers_of[txn_id]
+            )
+            new_p[txn_id] = values[txn_id] / denom if denom > 0 else 1.0
+        p_opt = new_p
+    profiles: dict[int, AdoptionProfile] = {}
+    for txn_id, rt in runtimes.items():
+        conflict_writers = writers_of[txn_id]
+        denom = values[txn_id] + sum(
+            values[w] * p_opt[w] for w in conflict_writers
+        )
+        if denom <= 0 or not conflict_writers:
+            profiles[txn_id] = AdoptionProfile(p_optimistic=1.0)
+            continue
+        p_writers = {
+            w: values[w] * p_opt[w] / denom for w in conflict_writers
+        }
+        profiles[txn_id] = AdoptionProfile(
+            p_optimistic=values[txn_id] / denom, p_writer=p_writers
+        )
+    return profiles
+
+
+@dataclass(frozen=True)
+class ShadowComponent:
+    """One term of Definition 6's expected-finish sum.
+
+    Attributes:
+        probability: Adoption probability of the shadow (``P_j_u``).
+        elapsed: Execution time already performed, or ``None`` for a shadow
+            that has *finished* executing (it commits at the next tick).
+    """
+
+    probability: float
+    elapsed: Optional[float]
+
+
+def expected_commit_value(
+    value_function,
+    dist: ExecutionDistribution,
+    components: list[ShadowComponent],
+    now: float,
+    delta: float,
+    epsilon: float = 0.01,
+) -> float:
+    """E[V(commit time)] over a mixture of shadows on the Δ-tick grid.
+
+    Each unfinished component contributes
+    ``Σ_k V(now + kΔ) * (F_j(now + kΔ) - F_j(now + (k-1)Δ)) * P_j`` with the
+    sum truncated at the paper's ``l_j`` horizon (conditional finish
+    probability ≥ 1-ε); the residual tail mass is assigned to the last tick
+    so the mixture stays a proper distribution.  A finished component
+    commits at the first tick.
+    """
+    if delta <= 0:
+        raise ConfigurationError(f"delta must be positive, got {delta}")
+    total = 0.0
+    for component in components:
+        if component.probability <= 0.0:
+            continue
+        if component.elapsed is None:
+            total += component.probability * value_function(now + delta)
+            continue
+        elapsed = component.elapsed
+        horizon_exec = dist.horizon(elapsed, epsilon)
+        horizon_wall = now + max(horizon_exec - elapsed, 0.0)
+        expected = 0.0
+        mass = 0.0
+        prev_f = 0.0
+        k = 0
+        while k < _MAX_TICKS:
+            k += 1
+            tick = now + k * delta
+            f_k = shadow_finish_probability(dist, elapsed, now, tick)
+            increment = max(f_k - prev_f, 0.0)
+            if increment > 0.0:
+                expected += value_function(tick) * increment
+                mass += increment
+            prev_f = f_k
+            if tick >= horizon_wall:
+                break
+        if mass < 1.0:
+            # Residual tail (the paper's "arbitrarily small error" ε).
+            expected += value_function(now + k * delta) * (1.0 - mass)
+        total += component.probability * expected
+    return total
+
+
+# ----------------------------------------------------------------------
+# world-conditioned component builders (used by SCC-DC's Termination Rule)
+# ----------------------------------------------------------------------
+
+
+def components_current(
+    protocol: "SCCProtocolBase",
+    runtime: "SCCTxnRuntime",
+    profile: AdoptionProfile,
+    step_time: float,
+    now: Optional[float] = None,
+) -> list[ShadowComponent]:
+    """Shadow mixture of a transaction in the *defer* world (status quo)."""
+    from repro.protocols.base import ExecutionState  # local to avoid cycle
+
+    components = []
+    optimistic = runtime.optimistic
+    if optimistic.state is ExecutionState.FINISHED:
+        components.append(
+            ShadowComponent(probability=profile.p_optimistic, elapsed=None)
+        )
+    else:
+        components.append(
+            ShadowComponent(
+                probability=profile.p_optimistic,
+                elapsed=elapsed_execution(optimistic, step_time, now),
+            )
+        )
+    for writer, probability in profile.p_writer.items():
+        shadow = runtime.speculatives.get(writer)
+        elapsed = (
+            elapsed_execution(shadow, step_time, now) if shadow is not None else 0.0
+        )
+        components.append(
+            ShadowComponent(probability=probability, elapsed=elapsed)
+        )
+    return components
+
+
+def components_after_commit(
+    protocol: "SCCProtocolBase",
+    runtime: "SCCTxnRuntime",
+    committer: "SCCTxnRuntime",
+    profile: AdoptionProfile,
+    step_time: float,
+    now: Optional[float] = None,
+) -> list[ShadowComponent]:
+    """Shadow mixture of a partner if ``committer`` commits right now.
+
+    Mirrors the Commit Rule hypothetically: shadows that read the
+    committer's written pages die; the optimistic slot is taken by the
+    shadow that waited on the committer (or the latest-blocked survivor,
+    or a from-scratch restart).  ``profile`` must have been computed with
+    ``exclude=committer.txn_id``.
+    """
+    from repro.protocols.base import ExecutionState  # local to avoid cycle
+
+    written = protocol.index.written_by(committer.txn_id)
+    optimistic = runtime.optimistic
+    exposed = optimistic.has_read_any(written)
+    if not exposed:
+        return components_current(protocol, runtime, profile, step_time, now)
+    survivors = {
+        writer: shadow
+        for writer, shadow in runtime.speculatives.items()
+        if shadow.alive and not shadow.has_read_any(written)
+    }
+    promoted = survivors.pop(committer.txn_id, None)
+    if promoted is None and survivors:
+        best_writer = max(
+            survivors, key=lambda w: (survivors[w].pos, -survivors[w].serial)
+        )
+        promoted = survivors.pop(best_writer)
+    promoted_elapsed = (
+        elapsed_execution(promoted, step_time, now) if promoted is not None else 0.0
+    )
+    components = [
+        ShadowComponent(probability=profile.p_optimistic, elapsed=promoted_elapsed)
+    ]
+    for writer, probability in profile.p_writer.items():
+        shadow = survivors.get(writer)
+        elapsed = (
+            elapsed_execution(shadow, step_time, now) if shadow is not None else 0.0
+        )
+        components.append(ShadowComponent(probability=probability, elapsed=elapsed))
+    return components

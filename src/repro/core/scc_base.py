@@ -1,0 +1,471 @@
+"""Shared SCC machinery: the five rules of SCC-kS (paper §2.1).
+
+This base class implements the paper's rules as event-driven hooks over the
+generic execution framework:
+
+* **Start Rule** — ``on_arrival`` creates the optimistic shadow.
+* **Read Rule** — a read-after-write conflict is detected in
+  ``before_step`` of the optimistic shadow, *before* the exposing read
+  happens; speculation is rebuilt so a shadow can fork off the optimistic
+  at the current position (it blocks immediately, the paper's "forked off
+  T_o_r").
+* **Write Rule** — a write-after-read conflict is detected in
+  ``after_step`` of any shadow performing a write; the affected *reader*
+  transaction's speculation is rebuilt, forking from the latest valid
+  donor before the conflict position, or from scratch (the paper's "create
+  a new copy of the reader transaction"), including the Figure 5/6
+  replacement adjustments.
+* **Blocking Rule** — a speculative shadow is blocked in ``before_step``
+  the first time it would read a page written by a transaction in its
+  ``wait_for`` set.
+* **Commit Rule** — :meth:`commit_transaction` installs the committing
+  shadow, kills every shadow *anywhere* that read a now-stale page
+  ("exposed" shadows, e.g. T³₁ in the paper's Figure 7), and for each
+  transaction whose optimistic shadow died promotes the surviving shadow
+  with the latest blocking point.  Because any shadow past the first
+  conflict position with the committer must have read the conflict page
+  and is therefore dead, the latest-blocked survivor *is* the shadow that
+  waited on the committer whenever one exists — uniformly realizing both
+  cases of the paper's Commit Rule (Figures 7 and 8).  With no survivor
+  the transaction restarts from scratch (OCC-BC behaviour).
+
+Deciding *when* a finished optimistic shadow commits is delegated to a
+:class:`~repro.core.deferral.TerminationPolicy`: immediate for
+SCC-kS/2S/CB, deferred for the value-cognizant SCC-DC/SCC-VW (§3's
+Termination Rule).
+
+Speculation maintenance is centralized in :meth:`_rebuild_speculation`,
+which reconciles the live shadow set against the *desired coverage*
+(which conflicts deserve shadows, per subclass policy and budget).  The
+Read and Write Rules, LBFO replacement, and post-commit re-speculation are
+all "conflict table changed → rebuild" under the hood, which keeps the
+invariants checkable in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.conflict_table import AccessIndex, ConflictTable
+from repro.core.deferral import ImmediateCommit, TerminationPolicy
+from repro.core.shadow import Shadow, ShadowMode
+from repro.errors import InvariantViolation, ProtocolError
+from repro.protocols.base import CCProtocol, Execution, ExecutionState
+from repro.txn.spec import Step, TransactionSpec
+
+
+@dataclass
+class SCCTxnRuntime:
+    """Per-transaction SCC state.
+
+    Attributes:
+        spec: The transaction.
+        optimistic: The unique optimistic shadow (always present).
+        speculatives: writer txn id -> speculative shadow accounting for
+            the conflict with that writer.
+        conflicts: The transaction's conflict table (it is the *reader*).
+        restarts: Times the transaction lost all shadows and started over.
+        deferred: Whether a finished shadow's commitment was ever deferred.
+    """
+
+    spec: TransactionSpec
+    optimistic: Shadow
+    speculatives: dict[int, Shadow] = field(default_factory=dict)
+    conflicts: ConflictTable = field(default_factory=ConflictTable)
+    restarts: int = 0
+    deferred: bool = False
+
+    @property
+    def txn_id(self) -> int:
+        """The transaction's id."""
+        return self.spec.txn_id
+
+    def live_shadows(self) -> list[Shadow]:
+        """The optimistic shadow plus all live speculative shadows."""
+        shadows = [self.optimistic]
+        shadows.extend(s for s in self.speculatives.values() if s.alive)
+        return shadows
+
+    @property
+    def finished_waiting(self) -> bool:
+        """Whether the optimistic shadow finished and awaits commitment."""
+        return self.optimistic.state is ExecutionState.FINISHED
+
+
+class SCCProtocolBase(CCProtocol):
+    """Common machinery for every SCC variant."""
+
+    name = "SCC-base"
+
+    def __init__(self, termination: Optional[TerminationPolicy] = None) -> None:
+        super().__init__()
+        self._runtimes: dict[int, SCCTxnRuntime] = {}
+        self._index = AccessIndex()
+        self._termination = termination or ImmediateCommit()
+        self._termination.bind(self)
+        #: Optional shadow-lifecycle observer: a callable
+        #: ``(kind, txn_id, shadow_or_None)`` invoked on "spawn", "block",
+        #: "promote", "restart", "kill", "finish", and "commit" events.
+        #: Used by :mod:`repro.analysis.timeline` to draw execution
+        #: diagrams; ``None`` (the default) costs nothing.
+        self.observer = None
+
+    def _emit(self, kind: str, txn_id: int, shadow: Optional[Shadow]) -> None:
+        if self.observer is not None:
+            self.observer(kind, txn_id, shadow)
+
+    # ------------------------------------------------------------------
+    # subclass policy hooks
+    # ------------------------------------------------------------------
+
+    def _desired_coverage(self, runtime: SCCTxnRuntime) -> list[int]:
+        """Writers whose conflicts deserve speculative shadows, in order.
+
+        Subclasses implement the budget/replacement policy here.  The
+        default covers nothing (pure OCC-BC behaviour).
+        """
+        return []
+
+    # ------------------------------------------------------------------
+    # shared queries (used by policies and termination rules)
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self) -> AccessIndex:
+        """The global access index."""
+        return self._index
+
+    def runtime_of(self, txn_id: int) -> Optional[SCCTxnRuntime]:
+        """Runtime state of an active transaction, or ``None``."""
+        return self._runtimes.get(txn_id)
+
+    def runtimes(self) -> list[SCCTxnRuntime]:
+        """All active transaction runtimes."""
+        return list(self._runtimes.values())
+
+    def transaction_has_conflicts(self, runtime: SCCTxnRuntime) -> bool:
+        """Whether ``runtime`` conflicts with any uncommitted transaction.
+
+        Checks both directions: incoming (it read pages an uncommitted
+        writer wrote — its conflict table) and outgoing (uncommitted
+        transactions read pages it wrote).  The paper's Termination Rules
+        commit immediately only when *neither* exists.
+        """
+        if len(runtime.conflicts) > 0:
+            return True
+        return bool(self.readers_of_writes(runtime))
+
+    def readers_of_writes(self, runtime: SCCTxnRuntime) -> list[SCCTxnRuntime]:
+        """Active transactions that read pages ``runtime`` wrote."""
+        seen: set[int] = set()
+        result = []
+        for page in self._index.written_by(runtime.txn_id):
+            for reader in self._index.readers_of(page):
+                if reader != runtime.txn_id and reader not in seen:
+                    other = self._runtimes.get(reader)
+                    if other is not None:
+                        seen.add(reader)
+                        result.append(other)
+        return result
+
+    # ------------------------------------------------------------------
+    # Start Rule
+    # ------------------------------------------------------------------
+
+    def on_arrival(self, txn: TransactionSpec) -> None:
+        optimistic = Shadow(txn, ShadowMode.OPTIMISTIC)
+        runtime = SCCTxnRuntime(spec=txn, optimistic=optimistic)
+        self._runtimes[txn.txn_id] = runtime
+        self._emit("spawn", txn.txn_id, optimistic)
+        self._start(optimistic)
+
+    # ------------------------------------------------------------------
+    # Read + Blocking Rules (before the access)
+    # ------------------------------------------------------------------
+
+    def before_step(self, execution: Execution, step: Step) -> bool:
+        shadow = self._as_shadow(execution)
+        runtime = self._runtimes[shadow.txn.txn_id]
+        if shadow.mode is ShadowMode.SPECULATIVE:
+            # Blocking Rule: stop before reading anything a waited-on
+            # transaction writes.
+            for writer in shadow.wait_for:
+                if self._index.writes_page(writer, step.page):
+                    self._block(shadow)
+                    self._emit("block", shadow.txn.txn_id, shadow)
+                    return False
+            return True
+        # Optimistic shadow: Read Rule conflict detection, *before* the
+        # exposing read, so a forked shadow can still block ahead of it.
+        changed = False
+        for writer in self._index.writers_of(step.page):
+            if writer == runtime.txn_id:
+                continue
+            if runtime.conflicts.record(writer, step.page, shadow.pos):
+                changed = True
+        if changed:
+            self._rebuild_speculation(runtime)
+        return True
+
+    # ------------------------------------------------------------------
+    # Write Rule (after the access)
+    # ------------------------------------------------------------------
+
+    def after_step(self, execution: Execution, step: Step) -> None:
+        shadow = self._as_shadow(execution)
+        runtime = self._runtimes[shadow.txn.txn_id]
+        txn_id = runtime.txn_id
+        record = shadow.readset[step.page]
+        self._index.add_read(txn_id, step.page, record.position)
+        # Read Rule, completion-time half: a write recorded while this read
+        # was in flight (after our before_step check, before completion)
+        # would be missed by both the before_step RAW check and the
+        # writer's WAR check (our read was not yet recorded).  Re-checking
+        # here closes that window; the conflict table is idempotent.
+        changed = False
+        for writer in self._index.writers_of(step.page):
+            if writer != txn_id and runtime.conflicts.record(
+                writer, step.page, record.position
+            ):
+                changed = True
+        # A speculative shadow may have completed a read of a page its
+        # *waited* writer wrote while the read was in flight: the writer's
+        # WAR pass ran before this read was recorded (the shadow looked
+        # valid then), and the conflict table may already know the page
+        # (no "change").  The shadow is now exposed to its own wait set —
+        # force a rebuild so it is replaced (paper Figure 5 semantics).
+        if (
+            shadow.mode is ShadowMode.SPECULATIVE
+            and shadow.alive
+            and any(
+                self._index.writes_page(writer, step.page)
+                for writer in shadow.wait_for
+            )
+        ):
+            changed = True
+        if changed:
+            self._rebuild_speculation(runtime)
+        if not step.is_write:
+            return
+        newly_written = not self._index.writes_page(txn_id, step.page)
+        self._index.add_write(txn_id, step.page)
+        if not newly_written:
+            return
+        # Write Rule: this transaction's write conflicts with everyone who
+        # already read the page.
+        for reader in self._index.readers_of(step.page):
+            if reader == txn_id:
+                continue
+            other = self._runtimes.get(reader)
+            if other is None:
+                continue
+            position = self._index.first_read_position(reader, step.page)
+            if other.conflicts.record(txn_id, step.page, position):
+                self._rebuild_speculation(other)
+
+    # ------------------------------------------------------------------
+    # speculation maintenance
+    # ------------------------------------------------------------------
+
+    def _rebuild_speculation(self, runtime: SCCTxnRuntime) -> None:
+        """Reconcile live shadows against the desired conflict coverage."""
+        desired = self._desired_coverage(runtime)
+        desired_set = set(desired)
+        for writer, shadow in list(runtime.speculatives.items()):
+            if (
+                writer not in desired_set
+                or not shadow.alive
+                or self._shadow_invalid_for(shadow, writer)
+            ):
+                del runtime.speculatives[writer]
+                if shadow.alive:
+                    self._emit("kill", runtime.txn_id, shadow)
+                self._kill(shadow)
+        for writer in desired:
+            if writer not in runtime.speculatives:
+                runtime.speculatives[writer] = self._spawn_speculative(
+                    runtime, writer
+                )
+
+    def _shadow_invalid_for(self, shadow: Shadow, writer: int) -> bool:
+        """A shadow that read the writer's pages can no longer wait on it.
+
+        This is the Figure 5 situation: a new, earlier conflict page means
+        the existing shadow already exposed itself to the writer.
+        """
+        return shadow.has_read_any(self._index.written_by(writer))
+
+    def _spawn_speculative(self, runtime: SCCTxnRuntime, writer: int) -> Shadow:
+        """Create the shadow accounting for the conflict with ``writer``.
+
+        Forks from the *latest* valid donor: any live shadow positioned at
+        or before the conflict's first position that has not read any of
+        the writer's pages.  With no donor it re-executes from scratch.
+        """
+        conflict = runtime.conflicts.get(writer)
+        if conflict is None:
+            raise InvariantViolation(
+                f"spawning shadow for unrecorded conflict "
+                f"T{writer} -> T{runtime.txn_id}"
+            )
+        written = self._index.written_by(writer)
+        donors = [
+            s
+            for s in runtime.live_shadows()
+            if s.pos <= conflict.first_pos
+            and not s.has_read_any(written)
+            and s.state
+            in (ExecutionState.RUNNING, ExecutionState.BLOCKED, ExecutionState.READY)
+        ]
+        wait_for = frozenset({writer})
+        if donors:
+            donor = max(donors, key=lambda s: (s.pos, -s.serial))
+            shadow = donor.fork(ShadowMode.SPECULATIVE, wait_for)
+        else:
+            shadow = Shadow(runtime.spec, ShadowMode.SPECULATIVE, wait_for)
+        self._emit("spawn", runtime.txn_id, shadow)
+        self._start(shadow)
+        return shadow
+
+    # ------------------------------------------------------------------
+    # finishing and the Commit Rule
+    # ------------------------------------------------------------------
+
+    def on_finished(self, execution: Execution) -> None:
+        shadow = self._as_shadow(execution)
+        if shadow.mode is not ShadowMode.OPTIMISTIC:
+            raise InvariantViolation(
+                f"speculative shadow of T{shadow.txn.txn_id} ran to completion "
+                f"without blocking"
+            )
+        runtime = self._runtimes[shadow.txn.txn_id]
+        self._emit("finish", runtime.txn_id, shadow)
+        self._termination.on_finished(runtime)
+
+    def commit_transaction(self, runtime: SCCTxnRuntime) -> None:
+        """Apply the Commit Rule for ``runtime``'s finished optimistic shadow."""
+        shadow = runtime.optimistic
+        if shadow.state is not ExecutionState.FINISHED:
+            raise ProtocolError(
+                f"T{runtime.txn_id} has no finished shadow to commit"
+            )
+        committer_id = runtime.txn_id
+        write_pages = set(shadow.writeset)
+        self._commit(shadow)
+        self._emit("commit", committer_id, shadow)
+        for speculative in runtime.speculatives.values():
+            if speculative.alive:
+                self._emit("kill", committer_id, speculative)
+            self._kill(speculative)
+        runtime.speculatives.clear()
+        del self._runtimes[committer_id]
+        self._index.remove_txn(committer_id)
+        self._termination.on_departure(runtime)
+        for other in list(self._runtimes.values()):
+            self._process_commit_effects(other, committer_id, write_pages)
+        self._termination.on_system_change()
+
+    def _process_commit_effects(
+        self, runtime: SCCTxnRuntime, committer_id: int, write_pages: set[int]
+    ) -> None:
+        """Kill exposed shadows of one transaction and promote/restart."""
+        runtime.conflicts.remove_writer(committer_id)
+        for writer, speculative in list(runtime.speculatives.items()):
+            if speculative.has_read_any(write_pages):
+                del runtime.speculatives[writer]
+                if speculative.alive:
+                    self._emit("kill", runtime.txn_id, speculative)
+                self._kill(speculative)
+        optimistic = runtime.optimistic
+        if optimistic.has_read_any(write_pages):
+            was_finished = optimistic.state is ExecutionState.FINISHED
+            self._emit("kill", runtime.txn_id, optimistic)
+            self._kill(optimistic)
+            if was_finished:
+                self._termination.on_unfinished(runtime)
+            self._adopt_replacement(runtime, committer_id)
+        self._rebuild_speculation(runtime)
+
+    def _adopt_replacement(self, runtime: SCCTxnRuntime, committer_id: int) -> None:
+        """Promote the latest-blocked survivor, or restart from scratch."""
+        survivors = [
+            (writer, s) for writer, s in runtime.speculatives.items() if s.alive
+        ]
+        if survivors:
+            # Latest position wins; prefer the shadow that speculated on
+            # this very committer (Commit Rule case 1), then determinism.
+            def rank(item: tuple[int, Shadow]) -> tuple:
+                writer, s = item
+                return (s.pos, writer == committer_id, -s.serial)
+
+            writer, chosen = max(survivors, key=rank)
+            del runtime.speculatives[writer]
+            chosen.promote()
+            runtime.optimistic = chosen
+            self._emit("promote", runtime.txn_id, chosen)
+            if chosen.state is ExecutionState.BLOCKED:
+                self._resume(chosen)
+            # A RUNNING catch-up shadow simply keeps executing as the new
+            # optimistic; a READY one is already scheduled to start.
+        else:
+            runtime.restarts += 1
+            self._require_system().record_restart(runtime.spec)
+            fresh = Shadow(runtime.spec, ShadowMode.OPTIMISTIC)
+            runtime.optimistic = fresh
+            self._emit("restart", runtime.txn_id, fresh)
+            self._start(fresh)
+
+    # ------------------------------------------------------------------
+    # invariant checking (used heavily by the test-suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`InvariantViolation` on any broken SCC invariant."""
+        system = self._require_system()
+        for runtime in self._runtimes.values():
+            optimistic = runtime.optimistic
+            if optimistic.mode is not ShadowMode.OPTIMISTIC:
+                raise InvariantViolation(
+                    f"T{runtime.txn_id}: registered optimistic shadow has "
+                    f"mode {optimistic.mode}"
+                )
+            if not optimistic.alive:
+                raise InvariantViolation(
+                    f"T{runtime.txn_id}: optimistic shadow is dead"
+                )
+            for writer, shadow in runtime.speculatives.items():
+                if shadow.mode is not ShadowMode.SPECULATIVE:
+                    raise InvariantViolation(
+                        f"T{runtime.txn_id}: shadow for writer {writer} has "
+                        f"mode {shadow.mode}"
+                    )
+                # Note: a speculative shadow MAY transiently be ahead of the
+                # optimistic shadow — after a promotion adopts a blocked
+                # shadow, a sibling that was mid-service keeps running to
+                # its own (later) blocking point.  That is safe: it only
+                # exposes itself to writers outside its wait set, which its
+                # speculated serialization order permits, and the exposure
+                # machinery reaps it if such a conflict materializes.
+                if shadow.alive and self._shadow_invalid_for(shadow, writer):
+                    raise InvariantViolation(
+                        f"T{runtime.txn_id}: shadow waiting on T{writer} has "
+                        f"read the writer's pages"
+                    )
+            for shadow in runtime.live_shadows():
+                for page, record in shadow.readset.items():
+                    if system.db.version(page) != record.version:
+                        raise InvariantViolation(
+                            f"live shadow of T{runtime.txn_id} holds a stale "
+                            f"read of page {page}"
+                        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_shadow(execution: Execution) -> Shadow:
+        if not isinstance(execution, Shadow):
+            raise ProtocolError("SCC protocols only drive Shadow executions")
+        return execution

@@ -1,0 +1,159 @@
+"""SCC-DC: Speculative Concurrency Control with Deferred Commit (§3.2).
+
+SCC-kS plus the probabilistic Termination Rule: a special system clock
+ticks every Δ seconds; at each tick, every finished optimistic shadow
+``T_o_u`` is either committed or deferred by comparing
+
+* ``V_now`` — the value of committing now: ``V_u(t)`` plus each conflicting
+  partner's expected commit value *given the commit* (its exposed shadows
+  die, the surviving shadow resumes — Definition 6/7 over the post-Commit-
+  Rule shadow mixture), against
+* ``V_later`` — the transaction's own expected commit value under deferral
+  (its finished shadow may still commit at a later tick, or be abandoned
+  for a speculative shadow if a conflicting transaction commits first, the
+  mixture weighted by the Definition-5 adoption probabilities) plus each
+  partner's expected commit value *without* the commit.
+
+See :mod:`repro.core.probability` for the exact treatment (including the
+documented correction of the paper's literal formulas).  The infinite sums
+are truncated at the ``l_i`` horizons where the conditional finish
+probability reaches ``1 - ε``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.deferral import DeferredTermination
+from repro.core.probability import (
+    adoption_profiles,
+    components_after_commit,
+    components_current,
+    execution_distribution,
+    expected_commit_value,
+)
+from repro.core.replacement import ReplacementPolicy
+from repro.core.scc_base import SCCTxnRuntime
+from repro.core.scc_ks import SCCkS
+from repro.errors import ConfigurationError
+
+
+class DCTermination(DeferredTermination):
+    """The §3.2 Termination Rule (periodic, probability-driven)."""
+
+    def __init__(
+        self,
+        period: float,
+        epsilon: float = 0.01,
+        max_deferral: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            period=period, evaluate_eagerly=False, max_deferral=max_deferral
+        )
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+
+    def should_commit(self, runtime: SCCTxnRuntime, now: float) -> bool:
+        protocol = self.protocol
+        step_time = protocol.system.resources.step_service_time
+        partners = self._partners(runtime)
+        value_now = runtime.spec.value_function(now)
+
+        # Self term of V_later: expected value of deferring T_u.
+        profiles_defer = adoption_profiles(protocol, now)
+        self_profile = profiles_defer.get(runtime.txn_id)
+        if self_profile is None:  # pragma: no cover - defensive
+            return True
+        v_later = expected_commit_value(
+            runtime.spec.value_function,
+            execution_distribution(runtime),
+            components_current(protocol, runtime, self_profile, step_time, now),
+            now,
+            self.period,
+            self.epsilon,
+        )
+        v_now = value_now
+        if partners:
+            profiles_commit = adoption_profiles(
+                protocol, now, exclude=runtime.txn_id
+            )
+            for partner in partners:
+                dist = execution_distribution(partner)
+                vf = partner.spec.value_function
+                commit_profile = profiles_commit.get(partner.txn_id)
+                defer_profile = profiles_defer.get(partner.txn_id)
+                if commit_profile is None or defer_profile is None:
+                    continue
+                v_now += expected_commit_value(
+                    vf,
+                    dist,
+                    components_after_commit(
+                        protocol, partner, runtime, commit_profile, step_time, now
+                    ),
+                    now,
+                    self.period,
+                    self.epsilon,
+                )
+                v_later += expected_commit_value(
+                    vf,
+                    dist,
+                    components_current(protocol, partner, defer_profile, step_time, now),
+                    now,
+                    self.period,
+                    self.epsilon,
+                )
+        return v_now >= v_later
+
+    def _partners(self, runtime: SCCTxnRuntime) -> list[SCCTxnRuntime]:
+        """*Executing* transactions conflicting with ``runtime``.
+
+        Finished-and-deferred partners are excluded (the same "executing
+        transactions" notion as §3.3's electorate): their fate is decided
+        by their own Termination-Rule evaluation, in serialization-
+        consistent order.  Including them makes mutually-finished
+        transactions defer each other forever — each tick, committing
+        costs the partner more than one tick of own-value decay, a locally
+        rational but globally divergent standoff.
+        """
+        protocol = self.protocol
+        partners: dict[int, SCCTxnRuntime] = {}
+        for writer in runtime.conflicts.writers():
+            other = protocol.runtime_of(writer)
+            if other is not None:
+                partners[writer] = other
+        for other in protocol.readers_of_writes(runtime):
+            partners[other.txn_id] = other
+        partners.pop(runtime.txn_id, None)
+        return [rt for rt in partners.values() if not rt.finished_waiting]
+
+
+class SCCDC(SCCkS):
+    """SCC with Deferred Commit: SCC-kS plus the §3.2 Termination Rule.
+
+    Args:
+        k: Shadow budget (as SCC-kS); ``None`` = unlimited.
+        period: The Δ of the termination clock, in seconds.
+        epsilon: Truncation error bound for the ``l_i`` horizons.
+        max_deferral: Optional hard cap on deferral time (safety valve).
+        replacement: Shadow replacement policy (LBFO by default).
+    """
+
+    name = "SCC-DC"
+
+    def __init__(
+        self,
+        k: Optional[int] = 2,
+        period: float = 0.01,
+        epsilon: float = 0.01,
+        max_deferral: Optional[float] = None,
+        replacement: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        super().__init__(
+            k=k,
+            replacement=replacement,
+            termination=DCTermination(
+                period=period, epsilon=epsilon, max_deferral=max_deferral
+            ),
+        )
+        self.name = "SCC-DC"

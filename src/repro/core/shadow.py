@@ -1,0 +1,84 @@
+"""SCC shadows.
+
+A shadow is an :class:`~repro.protocols.base.Execution` with a *mode* and a
+*speculated serialization assumption*:
+
+* The **optimistic** shadow assumes its transaction commits before every
+  conflicting transaction; it never blocks.
+* A **speculative** shadow assumes exactly the transactions in its
+  ``wait_for`` set commit *before* its own transaction; the Blocking Rule
+  stops it just before it would read anything those transactions wrote.
+  Under SCC-kS ``wait_for`` is a single transaction; the SCC-2S pessimistic
+  shadow (which assumes it commits last) is the ``wait_for = all
+  conflicting transactions`` case of the same machinery.
+
+Forking copies the donor's position and read/write sets *instantaneously*
+(the paper's model: a fork duplicates in-memory state), after which the
+child pays normal service time for every further step it executes.  A
+shadow forked behind its blocking point therefore "catches up" step by
+step, which is exactly the cost the Write Rule discussion around the
+paper's Figure 4 attributes to forking from an earlier execution point.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.protocols.base import Execution
+from repro.txn.spec import TransactionSpec
+
+
+class ShadowMode(enum.Enum):
+    """Role of a shadow within its transaction."""
+
+    OPTIMISTIC = "optimistic"
+    SPECULATIVE = "speculative"
+
+
+class Shadow(Execution):
+    """One shadow execution of a transaction.
+
+    Attributes:
+        mode: Optimistic or speculative.
+        wait_for: Transaction ids whose commits this shadow speculates will
+            precede its own transaction's commit (empty for optimistic).
+        forked_at: Program position the shadow was created at (0 for a
+            from-scratch execution); useful for instrumentation and tests.
+    """
+
+    def __init__(
+        self,
+        txn: TransactionSpec,
+        mode: ShadowMode,
+        wait_for: frozenset[int] = frozenset(),
+        start_pos: int = 0,
+    ) -> None:
+        super().__init__(txn, start_pos=start_pos)
+        self.mode = mode
+        self.wait_for = wait_for
+        self.forked_at = start_pos
+
+    def fork(self, mode: ShadowMode, wait_for: frozenset[int]) -> "Shadow":
+        """Instantaneously duplicate this shadow's execution state."""
+        child = Shadow(self.txn, mode, wait_for, start_pos=self.pos)
+        child.pos = self.pos
+        child.readset = dict(self.readset)
+        child.writeset = dict(self.writeset)
+        child.forked_at = self.pos
+        return child
+
+    def promote(self) -> None:
+        """Adopt this shadow as the transaction's optimistic shadow."""
+        self.mode = ShadowMode.OPTIMISTIC
+        self.wait_for = frozenset()
+
+    def waits_on(self, txn_id: int) -> bool:
+        """Whether this shadow's speculation involves ``txn_id`` committing."""
+        return txn_id in self.wait_for
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        wait = f", waits={sorted(self.wait_for)}" if self.wait_for else ""
+        return (
+            f"Shadow(T{self.txn.txn_id}, {self.mode.value}, "
+            f"pos={self.pos}/{len(self.txn.steps)}, {self.state.value}{wait})"
+        )

@@ -1,0 +1,6 @@
+"""Paged database substrate with per-page version counters."""
+
+from repro.db.database import Database, WriteBatch
+from repro.db.page import Page
+
+__all__ = ["Database", "Page", "WriteBatch"]

@@ -1,0 +1,78 @@
+"""The shared database: a fixed array of versioned pages.
+
+The database exposes exactly the operations the concurrency-control layer
+needs: read the committed state of a page, and atomically install a write
+batch at commit.  Uncommitted writes never touch the database — every
+protocol in this library uses deferred update (private workspaces), and
+2PL installs at commit while holding write locks, which is equivalent
+under the page model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.db.page import Page
+from repro.errors import ConfigurationError
+
+# A write batch maps page_id -> value to install.
+WriteBatch = Mapping[int, int]
+
+
+class Database:
+    """A fixed-size collection of versioned pages.
+
+    Attributes:
+        num_pages: Number of pages; page ids are ``0 .. num_pages-1``.
+        installs: Count of committed install operations (for metrics).
+    """
+
+    def __init__(self, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise ConfigurationError(f"num_pages must be positive, got {num_pages}")
+        self.num_pages = num_pages
+        self._pages = [Page(page_id=i) for i in range(num_pages)]
+        self.installs = 0
+
+    def page(self, page_id: int) -> Page:
+        """Return the page object for ``page_id``.
+
+        Raises:
+            KeyError: If the id is out of range.
+        """
+        if not 0 <= page_id < self.num_pages:
+            raise KeyError(f"page id {page_id} out of range [0, {self.num_pages})")
+        return self._pages[page_id]
+
+    def read(self, page_id: int) -> tuple[int, int]:
+        """Read the committed state of a page.
+
+        Returns:
+            ``(value, version)`` of the last committed install.
+        """
+        page = self.page(page_id)
+        return page.value, page.version
+
+    def version(self, page_id: int) -> int:
+        """Return the committed version counter of a page."""
+        return self.page(page_id).version
+
+    def install(self, batch: WriteBatch, writer: int) -> None:
+        """Atomically install a committed write batch.
+
+        Every page in ``batch`` has its version bumped and payload replaced.
+        The caller (the protocol's commit path) is responsible for having
+        validated the writer first.
+
+        Args:
+            batch: Mapping of page id to new payload value.
+            writer: Committing transaction's id (recorded on each page).
+        """
+        for page_id, value in batch.items():
+            self.page(page_id).install(value, writer)
+        if batch:
+            self.installs += 1
+
+    def versions_of(self, page_ids: Iterable[int]) -> dict[int, int]:
+        """Snapshot the committed versions of a set of pages."""
+        return {pid: self.page(pid).version for pid in page_ids}

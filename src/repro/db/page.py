@@ -1,0 +1,36 @@
+"""A database page: the unit of access, conflict, and versioning.
+
+Pages carry a monotone version counter bumped at every committed install.
+Versions are how the protocols reason *exactly* about staleness: a shadow
+that read ``(page, version=v)`` is "exposed" by a commit that installs
+version ``v+1`` of that page.  The payload value is an opaque integer the
+serializability oracle uses to validate read-from relationships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Page:
+    """A single page of the shared database.
+
+    Attributes:
+        page_id: Index of the page within the database.
+        version: Number of committed installs so far (0 = initial load).
+        value: Opaque payload; rewritten on every committed install.
+        last_writer: Transaction id of the last committed writer, or ``None``
+            for the initial load.  Used by the serializability oracle.
+    """
+
+    page_id: int
+    version: int = 0
+    value: int = 0
+    last_writer: int | None = field(default=None)
+
+    def install(self, value: int, writer: int) -> None:
+        """Install a committed write, bumping the version."""
+        self.version += 1
+        self.value = value
+        self.last_writer = writer

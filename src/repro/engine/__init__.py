@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate every experiment runs on: a deterministic
+event queue (:mod:`repro.engine.events`), the simulator loop and clock
+(:mod:`repro.engine.simulator`), and named reproducible random streams
+(:mod:`repro.engine.rng`).
+"""
+
+from repro.engine.events import Event, EventQueue
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+
+__all__ = ["Event", "EventQueue", "RandomStreams", "Simulator"]

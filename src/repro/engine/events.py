@@ -1,0 +1,131 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering total and deterministic: two events scheduled for the same
+instant fire in the order they were scheduled, which keeps whole simulation
+runs bit-for-bit reproducible for a given seed.
+
+Cancellation is lazy: :meth:`Event.cancel` marks the event dead and the
+queue skips dead entries on pop.  This is O(1) per cancellation and avoids
+re-heapifying, at the cost of dead entries lingering until popped — the
+standard idiom for simulation queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulated time at which the callback fires.
+        priority: Tie-breaker fired before ``sequence``; lower fires first.
+            Protocols use this to order same-instant activities (e.g. commit
+            processing before new arrivals).
+        callback: Callable invoked as ``callback(*args)`` when the event fires.
+    """
+
+    __slots__ = ("time", "priority", "sequence", "callback", "args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.sequence) < (
+            other.time,
+            other.priority,
+            other.sequence,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "live"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {name}, {state})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at ``time`` and return its handle."""
+        event = Event(time, priority, self._sequence, callback, args)
+        self._sequence += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            SimulationError: If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event`` if it is still pending."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,127 @@
+"""The simulator: a clock plus an event loop.
+
+The simulator advances time by firing events in deterministic order.  All
+model components (workload generator, resource manager, concurrency-control
+protocol) interact with simulated time exclusively through
+:meth:`Simulator.schedule` / :meth:`Simulator.cancel`, which keeps them
+trivially composable and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.engine.events import Event, EventQueue
+from repro.errors import SimulationError
+
+
+class Simulator:
+    """Discrete-event simulation loop.
+
+    Attributes:
+        now: Current simulated time (seconds).  Starts at 0.0.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (for instrumentation)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events awaiting execution."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        Args:
+            delay: Non-negative offset from the current time.
+            callback: Callable invoked when the event fires.
+            *args: Positional arguments forwarded to the callback.
+            priority: Same-instant tie-breaker; lower fires first.
+
+        Returns:
+            An :class:`Event` handle usable with :meth:`cancel`.
+
+        Raises:
+            SimulationError: If ``delay`` is negative or not finite.
+        """
+        if not (delay >= 0.0):  # also rejects NaN
+            raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
+        return self._queue.push(self.now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if not (time >= self.now):
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, which precedes now={self.now!r}"
+            )
+        return self._queue.push(time, callback, *args, priority=priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event.  Cancelling a fired/cancelled event is a no-op."""
+        self._queue.cancel(event)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Fire events until the queue drains or a bound is hit.
+
+        Args:
+            until: If given, stop once the next event would fire after this
+                time (the clock is still advanced to ``until``).
+            max_events: If given, stop after firing this many events — a
+                guard against accidental non-termination in tests.
+
+        Raises:
+            SimulationError: On re-entrant ``run`` calls.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._queue.pop()
+                self.now = event.time
+                self._events_fired += 1
+                fired += 1
+                event.callback(*event.args)
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns ``False`` when the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self.now = event.time
+        self._events_fired += 1
+        event.callback(*event.args)
+        return True

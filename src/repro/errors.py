@@ -1,0 +1,34 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one type at the API boundary.  Programming errors (violated internal
+invariants) raise :class:`InvariantViolation`, which tests treat as fatal.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, workload, or protocol was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven incorrectly (e.g. scheduling in the past)."""
+
+
+class ProtocolError(ReproError):
+    """A concurrency-control protocol was driven through an illegal transition."""
+
+
+class InvariantViolation(ReproError):
+    """An internal correctness invariant was violated.
+
+    These indicate bugs in the library itself, never user error.  The
+    protocol implementations check the paper's invariants (single optimistic
+    shadow, shadow budget, no stale reads by live shadows, ...) and raise
+    this eagerly rather than silently producing a non-serializable history.
+    """

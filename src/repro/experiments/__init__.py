@@ -1,0 +1,20 @@
+"""Experiment harness: baseline configuration, sweeps, per-figure setups."""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    baseline_config,
+    two_class_config,
+)
+from repro.experiments.profiling import OnlineProfiler, profile_classes
+from repro.experiments.runner import SweepResult, run_once, run_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "OnlineProfiler",
+    "SweepResult",
+    "baseline_config",
+    "profile_classes",
+    "run_once",
+    "run_sweep",
+    "two_class_config",
+]

@@ -1,0 +1,150 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Usage::
+
+    scc-experiments fig13a [--transactions N] [--replications R]
+                           [--rates 10,50,100,150,200] [--seed S]
+    scc-experiments all --transactions 1000 --replications 2
+
+Each command prints the series the corresponding paper figure plots, as a
+fixed-width table (one row per arrival rate, one column per protocol).
+``fig3`` prints the analytic SCC-OB vs SCC-CB shadow-count table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import Callable, Optional, Sequence
+
+from repro.core.shadow_counts import figure3_table
+from repro.experiments import figures
+from repro.experiments.config import baseline_config, two_class_config
+from repro.experiments.runner import SweepResult
+from repro.metrics.report import format_series_table, format_table
+
+_FIGURES = {
+    "fig13a": ("Figure 13(a): Missed Ratio (%), baseline model", "missed"),
+    "fig13b": ("Figure 13(b): Average Tardiness (s), baseline model", "tardiness"),
+    "fig14a": ("Figure 14(a): System Value (%), one class", "value"),
+    "fig14b": ("Figure 14(b): System Value (%), two classes", "value"),
+    "fig15a": ("Figure 15(a): Missed Ratio (%), SCC-VW", "missed"),
+    "fig15b": ("Figure 15(b): Average Tardiness (s), SCC-VW", "tardiness"),
+}
+
+_RUNNERS: dict[str, Callable] = {
+    "fig13a": figures.run_fig13,
+    "fig13b": figures.run_fig13,
+    "fig14a": figures.run_fig14a,
+    "fig14b": figures.run_fig14b,
+    "fig15a": figures.run_fig15,
+    "fig15b": figures.run_fig15,
+}
+
+_METRIC_EXTRACTORS = {
+    "missed": lambda result: result.missed_ratio(),
+    "tardiness": lambda result: result.avg_tardiness(),
+    "value": lambda result: result.system_value(),
+}
+
+
+def _parse_rates(text: Optional[str]) -> Optional[list[float]]:
+    if text is None:
+        return None
+    try:
+        return [float(r) for r in text.split(",") if r.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"invalid --rates value {text!r}: {exc}")
+
+
+def _build_config(args: argparse.Namespace, two_class: bool):
+    factory = two_class_config if two_class else baseline_config
+    config = factory(seed=args.seed)
+    return replace(
+        config,
+        num_transactions=args.transactions,
+        warmup_commits=min(config.warmup_commits, args.transactions // 10),
+        replications=args.replications,
+    )
+
+
+def _progress(protocol: str, rate: float, replication: int) -> None:
+    print(
+        f"  running {protocol:<10} rate={rate:<6g} replication={replication}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _run_figure(command: str, args: argparse.Namespace) -> str:
+    title, metric = _FIGURES[command]
+    config = _build_config(args, two_class=(command == "fig14b"))
+    rates = _parse_rates(args.rates)
+    runner = _RUNNERS[command]
+    started = time.time()
+    results: dict[str, SweepResult] = runner(config, arrival_rates=rates)
+    elapsed = time.time() - started
+    extract = _METRIC_EXTRACTORS[metric]
+    some = next(iter(results.values()))
+    table = format_series_table(
+        "arrival_rate",
+        list(some.arrival_rates),
+        {name: extract(result) for name, result in results.items()},
+        title=title,
+    )
+    return f"{table}\n[{config.num_transactions} txns x {config.replications} reps, {elapsed:.1f}s]"
+
+
+def _run_fig3(args: argparse.Namespace) -> str:
+    rows = figure3_table(max_n=args.max_n)
+    return format_table(
+        ["n", "SCC-OB shadows", "SCC-CB concurrent", "SCC-CB total"],
+        rows,
+        title="Figure 3 / §2: shadows per transaction for n pairwise conflicts",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="scc-experiments",
+        description="Regenerate the figures of Bestavros & Braoudakis 1995.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(_FIGURES) + ["fig3", "all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--transactions", type=int, default=4000,
+        help="completed transactions per run (paper: 4000)",
+    )
+    parser.add_argument(
+        "--replications", type=int, default=3,
+        help="independent replications per point",
+    )
+    parser.add_argument(
+        "--rates", type=str, default=None,
+        help="comma-separated arrival rates (tps), e.g. 10,50,100,150,200",
+    )
+    parser.add_argument("--seed", type=int, default=90_1995, help="root seed")
+    parser.add_argument(
+        "--max-n", dest="max_n", type=int, default=8,
+        help="fig3: largest number of pairwise-conflicting transactions",
+    )
+    args = parser.parse_args(argv)
+
+    commands = sorted(_FIGURES) + ["fig3"] if args.command == "all" else [args.command]
+    for command in commands:
+        if command == "fig3":
+            print(_run_fig3(args))
+        else:
+            print(_run_figure(command, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

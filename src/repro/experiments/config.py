@@ -1,0 +1,131 @@
+"""Experiment configuration (the paper's §4 baseline model).
+
+Paper parameters: a database of 1,000 pages; 16 pages accessed per
+transaction, each updated with probability 25%; deadline slack factor 2;
+EDF priorities; soft deadlines; runs of at least 4,000 completed
+transactions; 90% confidence intervals.
+
+The paper does not state its per-page service time; we calibrate 8 ms
+(1 ms CPU + 7 ms I/O, i.e. a 128 ms average transaction) so the contention
+regime over the 10-200 tps arrival sweep brackets the paper's reported
+operating points (SCC-2S ≈ 1% missed at 70 tps; the WAIT-50-vs-OCC-BC
+crossover above ~125 tps; 2PL-PA collapsing first and hardest).
+EXPERIMENTS.md records the shape agreement point by point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.values.classes import TransactionClass
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to run one experiment sweep.
+
+    Attributes mirror the paper's baseline model; see module docstring.
+    """
+
+    classes: tuple[TransactionClass, ...]
+    num_pages: int = 1000
+    cpu_time: float = 0.001
+    io_time: float = 0.007
+    num_transactions: int = 4000
+    warmup_commits: int = 200
+    replications: int = 3
+    seed: int = 90_1995
+    arrival_rates: tuple[float, ...] = (10, 25, 50, 75, 100, 125, 150, 175, 200)
+    check_serializability: bool = True
+    confidence_level: float = 0.90
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ConfigurationError("config needs at least one transaction class")
+        if self.num_transactions <= self.warmup_commits:
+            raise ConfigurationError(
+                f"num_transactions ({self.num_transactions}) must exceed "
+                f"warmup_commits ({self.warmup_commits})"
+            )
+        if self.replications < 1:
+            raise ConfigurationError("need at least one replication")
+        if not self.arrival_rates:
+            raise ConfigurationError("need at least one arrival rate")
+
+    @property
+    def step_duration(self) -> float:
+        """Per-page service time (CPU + I/O)."""
+        return self.cpu_time + self.io_time
+
+    def scaled(
+        self,
+        num_transactions: int | None = None,
+        replications: int | None = None,
+        arrival_rates: Sequence[float] | None = None,
+        warmup_commits: int | None = None,
+    ) -> "ExperimentConfig":
+        """A copy with reduced scale (used by smoke tests and benchmarks)."""
+        updates: dict = {}
+        if num_transactions is not None:
+            updates["num_transactions"] = num_transactions
+        if replications is not None:
+            updates["replications"] = replications
+        if arrival_rates is not None:
+            updates["arrival_rates"] = tuple(arrival_rates)
+        if warmup_commits is not None:
+            updates["warmup_commits"] = warmup_commits
+        return replace(self, **updates)
+
+
+def baseline_class(alpha_degrees: float = 45.0, value: float = 1.0) -> TransactionClass:
+    """The single baseline-model transaction class."""
+    return TransactionClass(
+        name="baseline",
+        num_steps=16,
+        write_probability=0.25,
+        slack_factor=2.0,
+        value=value,
+        alpha_degrees=alpha_degrees,
+    )
+
+
+def baseline_config(**overrides) -> ExperimentConfig:
+    """The paper's baseline model (Figures 13-15a: one class, 45° gradient)."""
+    classes = overrides.pop("classes", (baseline_class(),))
+    return ExperimentConfig(classes=tuple(classes), **overrides)
+
+
+def two_class_config(**overrides) -> ExperimentConfig:
+    """The Figure 14(b) two-class mix.
+
+    Class 1 (10% of transactions): long (32 pages), tight deadlines
+    (slack 1.5), high value (5.5), steep penalty gradient (tan α = 5.5).
+    Class 2 (90%): short (14 pages), value 0.5, shallow gradient
+    (tan α = 0.5).  The mix-weighted mean value function matches the
+    one-class setup of Figure 14(a): mean value 1.0, mean gradient 1.0
+    (45°), mean length 15.8 ≈ 16 pages.
+    """
+    import math
+
+    class_one = TransactionClass(
+        name="critical-long",
+        num_steps=32,
+        write_probability=0.25,
+        slack_factor=1.5,
+        value=5.5,
+        alpha_degrees=math.degrees(math.atan(5.5)),
+        weight=0.1,
+    )
+    class_two = TransactionClass(
+        name="routine-short",
+        num_steps=14,
+        write_probability=0.25,
+        slack_factor=2.0,
+        value=0.5,
+        alpha_degrees=math.degrees(math.atan(0.5)),
+        weight=0.9,
+    )
+    overrides.pop("classes", None)
+    return ExperimentConfig(classes=(class_one, class_two), **overrides)

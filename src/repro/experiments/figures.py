@@ -1,0 +1,199 @@
+"""Per-figure experiment definitions (paper §4.1-4.2 plus ablations).
+
+Each ``figNN`` function returns the protocol set and configuration that
+regenerate one figure of the paper; ``run_*`` executes it and returns the
+plotted series.  Benchmarks and the CLI are thin wrappers over these.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.core.replacement import (
+    DeadlineAwareReplacement,
+    LatestBlockedFirstOut,
+    ReplacementPolicy,
+    ValueAwareReplacement,
+)
+from repro.core.scc_2s import SCC2S
+from repro.core.scc_ks import SCCkS
+from repro.core.scc_vw import SCCVW
+from repro.experiments.config import (
+    ExperimentConfig,
+    baseline_config,
+    two_class_config,
+)
+from repro.experiments.runner import (
+    ProtocolFactory,
+    SweepResult,
+    run_sweep,
+)
+from repro.protocols.occ_bc import OCCBroadcastCommit
+from repro.protocols.twopl_pa import TwoPhaseLockingPA
+from repro.protocols.wait50 import Wait50
+
+# SCC-VW's re-evaluation/backstop period Δ: a small fraction of the mean
+# transaction execution time (96 ms) so deferral decisions track value
+# decay closely without flooding the event queue.
+VW_PERIOD = 0.01
+
+
+def fig13_protocols() -> dict[str, ProtocolFactory]:
+    """Figure 13's contenders: SCC-2S vs OCC-BC vs WAIT-50 vs 2PL-PA."""
+    return {
+        "SCC-2S": SCC2S,
+        "OCC-BC": OCCBroadcastCommit,
+        "WAIT-50": Wait50,
+        "2PL-PA": TwoPhaseLockingPA,
+    }
+
+
+def fig14_protocols() -> dict[str, ProtocolFactory]:
+    """Figures 14-15's contenders: SCC-VW joins, 2PL-PA drops out."""
+    return {
+        "SCC-VW": lambda: SCCVW(period=VW_PERIOD),
+        "SCC-2S": SCC2S,
+        "OCC-BC": OCCBroadcastCommit,
+        "WAIT-50": Wait50,
+    }
+
+
+def run_fig13(
+    config: Optional[ExperimentConfig] = None,
+    arrival_rates: Optional[Sequence[float]] = None,
+) -> dict[str, SweepResult]:
+    """Figures 13(a)+(b): Missed Ratio and Average Tardiness, baseline model."""
+    return run_sweep(fig13_protocols(), config or baseline_config(), arrival_rates)
+
+
+def run_fig14a(
+    config: Optional[ExperimentConfig] = None,
+    arrival_rates: Optional[Sequence[float]] = None,
+) -> dict[str, SweepResult]:
+    """Figure 14(a): System Value, one transaction class (45° gradient)."""
+    return run_sweep(fig14_protocols(), config or baseline_config(), arrival_rates)
+
+
+def run_fig14b(
+    config: Optional[ExperimentConfig] = None,
+    arrival_rates: Optional[Sequence[float]] = None,
+) -> dict[str, SweepResult]:
+    """Figure 14(b): System Value, the 10%/90% two-class mix."""
+    return run_sweep(fig14_protocols(), config or two_class_config(), arrival_rates)
+
+
+def run_fig15(
+    config: Optional[ExperimentConfig] = None,
+    arrival_rates: Optional[Sequence[float]] = None,
+) -> dict[str, SweepResult]:
+    """Figures 15(a)+(b): SCC-VW's Missed Ratio / Average Tardiness."""
+    return run_sweep(fig14_protocols(), config or baseline_config(), arrival_rates)
+
+
+# ----------------------------------------------------------------------
+# ablations (DESIGN.md A1-A3)
+# ----------------------------------------------------------------------
+
+
+def ablation_k_protocols(ks: Sequence[Optional[int]] = (1, 2, 3, 5, None)) -> dict:
+    """SCC-kS at several shadow budgets; ``None`` = unlimited (SCC-CB)."""
+    factories: dict[str, ProtocolFactory] = {}
+    for k in ks:
+        label = "SCC-CB (k=inf)" if k is None else f"SCC-{k}S"
+        factories[label] = (lambda kk: lambda: SCCkS(k=kk))(k)
+    return factories
+
+
+def run_ablation_k(
+    config: Optional[ExperimentConfig] = None,
+    arrival_rates: Optional[Sequence[float]] = None,
+    ks: Sequence[Optional[int]] = (1, 2, 3, 5, None),
+) -> dict[str, SweepResult]:
+    """A1: the resources-for-timeliness dial (k shadows per transaction).
+
+    ``k=1`` is pure OCC-BC behaviour (no speculation); increasing k should
+    monotonically improve the Missed Ratio at a diminishing rate.
+    """
+    return run_sweep(
+        ablation_k_protocols(ks), config or baseline_config(), arrival_rates
+    )
+
+
+def replacement_policies() -> Mapping[str, ReplacementPolicy]:
+    """The replacement policies compared by ablation A3."""
+    return {
+        "LBFO": LatestBlockedFirstOut(),
+        "deadline-aware": DeadlineAwareReplacement(),
+        "value-aware": ValueAwareReplacement(),
+    }
+
+
+def run_ablation_replacement(
+    config: Optional[ExperimentConfig] = None,
+    arrival_rates: Optional[Sequence[float]] = None,
+    k: int = 3,
+) -> dict[str, SweepResult]:
+    """A3: LBFO vs deadline-aware vs value-aware shadow replacement."""
+    factories = {
+        name: (lambda pol: lambda: SCCkS(k=k, replacement=pol))(policy)
+        for name, policy in replacement_policies().items()
+    }
+    return run_sweep(factories, config or baseline_config(), arrival_rates)
+
+
+def run_ablation_wait_threshold(
+    config: Optional[ExperimentConfig] = None,
+    arrival_rates: Optional[Sequence[float]] = None,
+    thresholds: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+) -> dict[str, SweepResult]:
+    """A4: the WAIT-X family (Haritsa's wait-control threshold).
+
+    ``X -> 0`` approaches plain OCC-BC (never wait); ``X = 1`` waits only
+    when *every* conflicting transaction has higher priority.  The paper's
+    WAIT-50 is the X = 0.5 instance.  OCC-BC is included as the no-wait
+    reference.
+    """
+    factories: dict[str, ProtocolFactory] = {
+        "OCC-BC (no wait)": OCCBroadcastCommit,
+    }
+    for threshold in thresholds:
+        label = f"WAIT-{int(round(threshold * 100))}"
+        factories[label] = (lambda x: lambda: Wait50(wait_threshold=x))(threshold)
+    return run_sweep(factories, config or baseline_config(), arrival_rates)
+
+
+def run_ablation_resources(
+    config: Optional[ExperimentConfig] = None,
+    arrival_rate: float = 100.0,
+    server_counts: Sequence[Optional[int]] = (1, 2, 4, 8, 16, None),
+) -> dict[str, SweepResult]:
+    """A2: finite resources (``None`` = infinite), fixed arrival rate.
+
+    Reproduces the introduction's PCC-vs-OCC resource argument: with few
+    servers, restart- and speculation-heavy protocols pay for their wasted
+    work; with abundant servers the blocking-based protocol loses its edge.
+    """
+    from repro.system.resources import FiniteResources, InfiniteResources
+
+    config = config or baseline_config()
+    results: dict[str, SweepResult] = {}
+    for count in server_counts:
+        if count is None:
+            factory = lambda cfg: InfiniteResources(cfg.cpu_time, cfg.io_time)
+            label = "servers=inf"
+        else:
+            factory = (
+                lambda c: lambda cfg: FiniteResources(
+                    cfg.cpu_time, cfg.io_time, num_servers=c
+                )
+            )(count)
+            label = f"servers={count}"
+        sweep = run_sweep(
+            {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit, "2PL-PA": TwoPhaseLockingPA},
+            config,
+            arrival_rates=[arrival_rate],
+            resources=factory,
+        )
+        for name, result in sweep.items():
+            results[f"{name} {label}"] = result
+    return results

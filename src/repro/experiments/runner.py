@@ -1,0 +1,154 @@
+"""Sweep runner: protocols × arrival rates × replications.
+
+Variance-reduction discipline: within one (arrival rate, replication)
+cell, every protocol sees *literally the same workload* — same arrival
+instants, page selections, and update coin-flips — because the workload
+stream is derived from ``(seed, replication)`` only.  Confidence intervals
+are computed across replications per the paper's 90% rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.analysis.serializability import check_serializable
+from repro.engine.rng import RandomStreams
+from repro.errors import InvariantViolation
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.confidence import ConfidenceInterval, mean_confidence_interval
+from repro.metrics.stats import MetricsCollector, RunSummary
+from repro.protocols.base import CCProtocol
+from repro.system.model import RTDBSystem
+from repro.system.resources import InfiniteResources, ResourceManager
+from repro.txn.generator import WorkloadGenerator
+
+ProtocolFactory = Callable[[], CCProtocol]
+ResourceFactory = Callable[[ExperimentConfig], ResourceManager]
+
+
+def _default_resources(config: ExperimentConfig) -> ResourceManager:
+    return InfiniteResources(cpu_time=config.cpu_time, io_time=config.io_time)
+
+
+def run_once(
+    protocol_factory: ProtocolFactory,
+    config: ExperimentConfig,
+    arrival_rate: float,
+    replication: int = 0,
+    resources: Optional[ResourceFactory] = None,
+) -> RunSummary:
+    """Run one complete simulation and return its summary.
+
+    Raises:
+        InvariantViolation: If the committed history is not serializable
+            (when ``config.check_serializability`` is set) — a protocol
+            bug, never a workload property.
+    """
+    streams = RandomStreams(config.seed).spawn(replication)
+    generator = WorkloadGenerator(
+        classes=list(config.classes),
+        num_pages=config.num_pages,
+        arrival_rate=arrival_rate,
+        step_duration=config.step_duration,
+        streams=streams,
+    )
+    resource_factory = resources or _default_resources
+    system = RTDBSystem(
+        protocol=protocol_factory(),
+        num_pages=config.num_pages,
+        resources=resource_factory(config),
+        metrics=MetricsCollector(warmup_commits=config.warmup_commits),
+        record_history=config.check_serializability,
+    )
+    system.load_workload(generator.generate(config.num_transactions))
+    system.run()
+    if config.check_serializability and system.history is not None:
+        if not check_serializable(system.history):
+            raise InvariantViolation(
+                f"{system.protocol.name} produced a non-serializable history "
+                f"at rate {arrival_rate}"
+            )
+    return system.metrics.summary()
+
+
+@dataclass
+class SweepResult:
+    """Results of one protocol sweep over arrival rates."""
+
+    protocol: str
+    arrival_rates: tuple[float, ...]
+    replications: list[list[RunSummary]]  # [rate index][replication]
+
+    def metric(self, extract: Callable[[RunSummary], float]) -> list[float]:
+        """Per-rate replication means of one metric."""
+        return [
+            sum(extract(s) for s in summaries) / len(summaries)
+            for summaries in self.replications
+        ]
+
+    def confidence(
+        self, extract: Callable[[RunSummary], float], level: float = 0.90
+    ) -> list[ConfidenceInterval]:
+        """Per-rate confidence intervals of one metric."""
+        return [
+            mean_confidence_interval([extract(s) for s in summaries], level)
+            for summaries in self.replications
+        ]
+
+    def missed_ratio(self) -> list[float]:
+        """Per-rate mean Missed Ratio (%)."""
+        return self.metric(lambda s: s.missed_ratio)
+
+    def avg_tardiness(self) -> list[float]:
+        """Per-rate mean Average Tardiness over late transactions (s)."""
+        return self.metric(lambda s: s.avg_tardiness_late)
+
+    def system_value(self) -> list[float]:
+        """Per-rate mean System Value (%)."""
+        return self.metric(lambda s: s.system_value)
+
+
+def run_sweep(
+    protocols: Mapping[str, ProtocolFactory],
+    config: ExperimentConfig,
+    arrival_rates: Optional[Sequence[float]] = None,
+    resources: Optional[ResourceFactory] = None,
+    progress: Optional[Callable[[str, float, int], None]] = None,
+) -> dict[str, SweepResult]:
+    """Run every protocol over the arrival-rate sweep with replications.
+
+    Args:
+        protocols: name -> factory producing a *fresh* protocol instance.
+        config: Experiment configuration.
+        arrival_rates: Overrides ``config.arrival_rates`` when given.
+        resources: Optional resource-manager factory (infinite by default).
+        progress: Optional callback ``(protocol, rate, replication)`` fired
+            before each run (the CLI uses it for status lines).
+
+    Returns:
+        name -> :class:`SweepResult`.
+    """
+    rates = tuple(arrival_rates if arrival_rates is not None else config.arrival_rates)
+    results: dict[str, SweepResult] = {}
+    for name, factory in protocols.items():
+        per_rate: list[list[RunSummary]] = []
+        for rate in rates:
+            summaries = []
+            for replication in range(config.replications):
+                if progress is not None:
+                    progress(name, rate, replication)
+                summaries.append(
+                    run_once(
+                        factory,
+                        config,
+                        arrival_rate=rate,
+                        replication=replication,
+                        resources=resources,
+                    )
+                )
+            per_rate.append(summaries)
+        results[name] = SweepResult(
+            protocol=name, arrival_rates=rates, replications=per_rate
+        )
+    return results

@@ -1,0 +1,14 @@
+"""Performance measurement: per-run collectors, confidence intervals, reports."""
+
+from repro.metrics.confidence import ConfidenceInterval, mean_confidence_interval
+from repro.metrics.report import format_series_table, format_table
+from repro.metrics.stats import MetricsCollector, RunSummary
+
+__all__ = [
+    "ConfidenceInterval",
+    "MetricsCollector",
+    "RunSummary",
+    "format_series_table",
+    "format_table",
+    "mean_confidence_interval",
+]

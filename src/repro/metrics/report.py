@@ -1,0 +1,71 @@
+"""Plain-text tables for experiment output.
+
+The benchmark harness and the experiment CLI print the same rows/series the
+paper's figures plot; these helpers render them readably without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table.
+
+    Floats are shown with three decimals; everything else via ``str``.
+    """
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    rendered_rows = [
+        [f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render figure-style series: one x column plus one column per protocol."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            values = series[name]
+            if len(values) != len(x_values):
+                raise ConfigurationError(
+                    f"series {name!r} has {len(values)} points for "
+                    f"{len(x_values)} x-values"
+                )
+            row.append(values[i])
+        rows.append(row)
+    return format_table(headers, rows, title=title)

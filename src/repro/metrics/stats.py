@@ -1,0 +1,190 @@
+"""Per-run metrics (paper §4).
+
+Primary measures:
+
+* **Missed Ratio** — percentage of completed transactions that committed
+  after their deadline.
+* **Average Tardiness** — the average time by which *late* transactions
+  miss their deadlines ("a transaction that commits within its deadline has
+  a tardiness of zero"; we report the late-only mean as the headline figure
+  and also expose the all-transactions mean).
+* **System Value** — Σ V_u(commit) normalized by the maximum attainable
+  Σ v_u, in percent (Figure 14's axis runs −100..100: tardy critical
+  transactions contribute negative value).
+
+Secondary measures the paper mentions ("number of transaction restarts,
+average wasted computation, ...") are collected too and are invaluable for
+explaining protocol behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.errors import ProtocolError
+from repro.txn.spec import TransactionSpec
+
+
+@dataclass
+class CommitRecord:
+    """Outcome of one committed transaction."""
+
+    txn_id: int
+    class_name: str
+    arrival: float
+    deadline: float
+    commit_time: float
+    value_attained: float
+    value_max: float
+    restarts: int
+
+    @property
+    def tardiness(self) -> float:
+        """Seconds past the deadline (0 when on time)."""
+        return max(0.0, self.commit_time - self.deadline)
+
+    @property
+    def missed(self) -> bool:
+        """Whether the deadline was missed."""
+        return self.commit_time > self.deadline
+
+    @property
+    def response_time(self) -> float:
+        """Commit time minus arrival time."""
+        return self.commit_time - self.arrival
+
+
+@dataclass
+class RunSummary:
+    """Aggregated measures of one simulation run."""
+
+    committed: int
+    missed_ratio: float  # percent
+    avg_tardiness_late: float  # seconds, mean over late transactions
+    avg_tardiness_all: float  # seconds, mean over all transactions
+    system_value: float  # percent of maximum attainable value
+    avg_response_time: float
+    restarts: int
+    shadow_aborts: int
+    wasted_work: float  # seconds of aborted service time
+    useful_work: float  # seconds of committed service time
+    deferred_commits: int
+    per_class_missed: dict[str, float] = field(default_factory=dict)
+    per_class_value: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Wasted work as a fraction of all work performed."""
+        total = self.wasted_work + self.useful_work
+        return self.wasted_work / total if total > 0 else 0.0
+
+
+class MetricsCollector:
+    """Accumulates per-transaction outcomes during a run.
+
+    Transactions committed before ``warmup_commits`` completions are counted
+    for progress but excluded from the summary statistics, the standard
+    transient-removal discipline.
+    """
+
+    def __init__(self, warmup_commits: int = 0) -> None:
+        self.warmup_commits = warmup_commits
+        self.records: list[CommitRecord] = []
+        self.total_committed = 0
+        self.restarts = 0
+        self.shadow_aborts = 0
+        self.wasted_work = 0.0
+        self.useful_work = 0.0
+        self.deferred_commits = 0
+        self._restart_counts: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_restart(self, txn: TransactionSpec) -> None:
+        """A transaction lost all shadows / was aborted and started over."""
+        self.restarts += 1
+        self._restart_counts[txn.txn_id] = self._restart_counts.get(txn.txn_id, 0) + 1
+
+    def record_shadow_abort(self, work: float) -> None:
+        """An execution (shadow or run) was aborted after doing ``work``."""
+        self.shadow_aborts += 1
+        self.wasted_work += work
+
+    def record_deferred_commit(self) -> None:
+        """A finished execution's commitment was deferred at least once."""
+        self.deferred_commits += 1
+
+    def record_commit(self, txn: TransactionSpec, commit_time: float, work: float) -> None:
+        """A transaction committed at ``commit_time`` with ``work`` service time."""
+        if commit_time < txn.arrival:
+            raise ProtocolError(
+                f"T{txn.txn_id} committed at {commit_time} before arrival {txn.arrival}"
+            )
+        self.total_committed += 1
+        self.useful_work += work
+        if self.total_committed <= self.warmup_commits:
+            return
+        self.records.append(
+            CommitRecord(
+                txn_id=txn.txn_id,
+                class_name=txn.txn_class.name,
+                arrival=txn.arrival,
+                deadline=txn.deadline,
+                commit_time=commit_time,
+                value_attained=txn.value_function(commit_time),
+                value_max=txn.value_function.value,
+                restarts=self._restart_counts.get(txn.txn_id, 0),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+
+    def summary(self) -> RunSummary:
+        """Aggregate the recorded commits into a :class:`RunSummary`."""
+        records = self.records
+        n = len(records)
+        if n == 0:
+            raise ProtocolError("no committed transactions recorded after warmup")
+        late = [r for r in records if r.missed]
+        total_tardiness = sum(r.tardiness for r in late)
+        value_attained = sum(r.value_attained for r in records)
+        value_max = sum(r.value_max for r in records)
+        return RunSummary(
+            committed=n,
+            missed_ratio=100.0 * len(late) / n,
+            avg_tardiness_late=(total_tardiness / len(late)) if late else 0.0,
+            avg_tardiness_all=total_tardiness / n,
+            system_value=100.0 * value_attained / value_max if value_max > 0 else 0.0,
+            avg_response_time=sum(r.response_time for r in records) / n,
+            restarts=self.restarts,
+            shadow_aborts=self.shadow_aborts,
+            wasted_work=self.wasted_work,
+            useful_work=self.useful_work,
+            deferred_commits=self.deferred_commits,
+            per_class_missed=self._per_class_missed(),
+            per_class_value=self._per_class_value(),
+        )
+
+    def _per_class_missed(self) -> dict[str, float]:
+        by_class: dict[str, list[CommitRecord]] = {}
+        for record in self.records:
+            by_class.setdefault(record.class_name, []).append(record)
+        return {
+            name: 100.0 * sum(1 for r in recs if r.missed) / len(recs)
+            for name, recs in by_class.items()
+        }
+
+    def _per_class_value(self) -> dict[str, float]:
+        by_class: dict[str, list[CommitRecord]] = {}
+        for record in self.records:
+            by_class.setdefault(record.class_name, []).append(record)
+        result = {}
+        for name, recs in by_class.items():
+            vmax = sum(r.value_max for r in recs)
+            result[name] = (
+                100.0 * sum(r.value_attained for r in recs) / vmax if vmax > 0 else 0.0
+            )
+        return result

@@ -1,0 +1,20 @@
+"""Concurrency-control protocols: shared machinery and the paper's baselines."""
+
+from repro.protocols.base import CCProtocol, Execution, ExecutionState, ReadRecord
+from repro.protocols.occ import BasicOCC
+from repro.protocols.occ_bc import OCCBroadcastCommit
+from repro.protocols.serial import SerialExecution
+from repro.protocols.twopl_pa import TwoPhaseLockingPA
+from repro.protocols.wait50 import Wait50
+
+__all__ = [
+    "BasicOCC",
+    "CCProtocol",
+    "Execution",
+    "ExecutionState",
+    "OCCBroadcastCommit",
+    "ReadRecord",
+    "SerialExecution",
+    "TwoPhaseLockingPA",
+    "Wait50",
+]

@@ -1,0 +1,284 @@
+"""Protocol framework: executions, the step loop, and the CC interface.
+
+Every protocol in this library drives one or more :class:`Execution` objects
+per transaction (OCC/2PL: exactly one at a time; SCC: one optimistic shadow
+plus speculative shadows).  An execution replays the transaction's
+deterministic step program.  The base class owns the step loop:
+
+    _start -> _advance -> [before_step hook] -> resource service ->
+    _complete_step -> record access -> [after_step hook] -> _advance ...
+
+``before_step`` lets a protocol block the execution (lock waits, SCC
+blocking rule) or fork shadows (SCC read rule) *before* the access happens;
+``after_step`` lets it react to the access (write-after-read detection).
+When the program is exhausted ``on_finished`` fires (validation/commit).
+
+Stale-callback safety: each execution carries an ``epoch`` bumped on every
+abort/block/resume; a service-completion callback captured under an old
+epoch is ignored.  This makes aborting an execution mid-service trivially
+correct regardless of the resource model.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, NamedTuple, Optional
+
+from repro.errors import InvariantViolation, ProtocolError
+from repro.txn.spec import Step, TransactionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system.model import RTDBSystem
+
+
+class ExecutionState(enum.Enum):
+    """Lifecycle of an execution (a transaction run or an SCC shadow)."""
+
+    READY = "ready"  # created, not yet started
+    RUNNING = "running"  # executing steps
+    BLOCKED = "blocked"  # waiting (lock wait / SCC blocking rule)
+    FINISHED = "finished"  # program exhausted, awaiting commit decision
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class ReadRecord(NamedTuple):
+    """One page read performed by an execution.
+
+    Attributes:
+        position: Program position of the (first) read of this page.
+        version: Committed page version observed.
+        time: Simulated time of the read.
+    """
+
+    position: int
+    version: int
+    time: float
+
+
+class Execution:
+    """One replay of a transaction's program.
+
+    Attributes:
+        txn: The transaction specification being replayed.
+        pos: Index of the next step to execute.
+        state: Current :class:`ExecutionState`.
+        readset: page -> :class:`ReadRecord` (first read position, latest
+            version observed).
+        writeset: page -> program position of the write.
+        work: Service time consumed by *this* execution (excludes any
+            prefix inherited from a fork donor); feeds the wasted-work metric.
+        epoch: Bumped on abort/block/resume to invalidate stale callbacks.
+    """
+
+    _next_serial = 0
+
+    def __init__(self, txn: TransactionSpec, start_pos: int = 0) -> None:
+        self.txn = txn
+        self.pos = start_pos
+        self.state = ExecutionState.READY
+        self.readset: dict[int, ReadRecord] = {}
+        self.writeset: dict[int, int] = {}
+        self.work: float = 0.0
+        self.epoch = 0
+        self.step_started_at: Optional[float] = None
+        self.serial = Execution._next_serial
+        Execution._next_serial += 1
+
+    @property
+    def alive(self) -> bool:
+        """Whether the execution can still make progress or commit."""
+        return self.state in (
+            ExecutionState.READY,
+            ExecutionState.RUNNING,
+            ExecutionState.BLOCKED,
+            ExecutionState.FINISHED,
+        )
+
+    @property
+    def done(self) -> bool:
+        """Whether the program is exhausted."""
+        return self.pos >= len(self.txn.steps)
+
+    def current_step(self) -> Step:
+        """The step about to be executed.
+
+        Raises:
+            ProtocolError: If the program is already exhausted.
+        """
+        if self.done:
+            raise ProtocolError(f"execution of T{self.txn.txn_id} has no current step")
+        return self.txn.steps[self.pos]
+
+    def has_read(self, page: int) -> bool:
+        """Whether this execution has read ``page``."""
+        return page in self.readset
+
+    def has_read_any(self, pages) -> bool:
+        """Whether this execution has read any page in ``pages``."""
+        if len(self.readset) < len(pages):
+            return any(page in pages for page in self.readset)
+        return any(page in self.readset for page in pages)
+
+    def bump_epoch(self) -> int:
+        """Invalidate outstanding service callbacks; returns the new epoch."""
+        self.epoch += 1
+        return self.epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Execution(T{self.txn.txn_id}, pos={self.pos}/{len(self.txn.steps)}, "
+            f"{self.state.value})"
+        )
+
+
+class CCProtocol(ABC):
+    """Base class for all concurrency-control protocols.
+
+    Subclasses implement the transaction lifecycle hooks; the base class
+    owns the step loop and the interaction with the resource manager.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.system: Optional["RTDBSystem"] = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def bind(self, system: "RTDBSystem") -> None:
+        """Attach the protocol to a system model.  Called once by the system."""
+        if self.system is not None:
+            raise ProtocolError(f"protocol {self.name} is already bound")
+        self.system = system
+
+    def _require_system(self) -> "RTDBSystem":
+        if self.system is None:
+            raise ProtocolError(f"protocol {self.name} is not bound to a system")
+        return self.system
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks (subclass API)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def on_arrival(self, txn: TransactionSpec) -> None:
+        """A new transaction entered the system (the paper's Start Rule)."""
+
+    @abstractmethod
+    def on_finished(self, execution: Execution) -> None:
+        """An execution exhausted its program (validation/commit point)."""
+
+    def before_step(self, execution: Execution, step: Step) -> bool:
+        """Called before ``execution`` performs ``step``.
+
+        Returns:
+            ``True`` to proceed with the access.  ``False`` if the hook
+            blocked (or killed) the execution — in that case the hook is
+            responsible for the state transition and later resumption.
+        """
+        return True
+
+    def after_step(self, execution: Execution, step: Step) -> None:
+        """Called after the access completed and was recorded."""
+
+    def on_drain(self) -> None:
+        """Called when arrivals are exhausted (end-of-run deferral flush)."""
+
+    # ------------------------------------------------------------------
+    # step loop (shared machinery)
+    # ------------------------------------------------------------------
+
+    def _start(self, execution: Execution) -> None:
+        """Begin (or restart) driving an execution."""
+        if not execution.alive:
+            raise ProtocolError(f"cannot start dead execution {execution!r}")
+        execution.state = ExecutionState.RUNNING
+        execution.bump_epoch()
+        self._advance(execution)
+
+    def _resume(self, execution: Execution) -> None:
+        """Resume a blocked execution from its blocking point."""
+        if execution.state is not ExecutionState.BLOCKED:
+            raise ProtocolError(f"cannot resume non-blocked execution {execution!r}")
+        execution.state = ExecutionState.RUNNING
+        execution.bump_epoch()
+        self._advance(execution)
+
+    def _block(self, execution: Execution) -> None:
+        """Transition a running execution to BLOCKED."""
+        if execution.state is not ExecutionState.RUNNING:
+            raise ProtocolError(f"cannot block non-running execution {execution!r}")
+        execution.state = ExecutionState.BLOCKED
+        execution.bump_epoch()
+
+    def _kill(self, execution: Execution) -> None:
+        """Abort an execution, releasing any pending service callback."""
+        if execution.state in (ExecutionState.COMMITTED, ExecutionState.ABORTED):
+            return
+        execution.state = ExecutionState.ABORTED
+        execution.bump_epoch()
+        self._require_system().record_execution_abort(execution)
+
+    def _advance(self, execution: Execution) -> None:
+        """Drive the next step of a running execution (or finish it)."""
+        system = self._require_system()
+        if execution.state is not ExecutionState.RUNNING:
+            raise ProtocolError(f"cannot advance {execution!r}")
+        if execution.done:
+            execution.state = ExecutionState.FINISHED
+            execution.bump_epoch()
+            self.on_finished(execution)
+            return
+        step = execution.current_step()
+        if not self.before_step(execution, step):
+            if execution.state is ExecutionState.RUNNING:
+                raise InvariantViolation(
+                    "before_step returned False but left the execution RUNNING"
+                )
+            return
+        epoch = execution.epoch
+        execution.step_started_at = system.sim.now
+        system.resources.request(
+            execution, lambda: self._complete_step(execution, epoch)
+        )
+
+    def _complete_step(self, execution: Execution, epoch: int) -> None:
+        """Service finished: record the access and keep going."""
+        if execution.epoch != epoch or execution.state is not ExecutionState.RUNNING:
+            return  # the execution was aborted/blocked while in service
+        system = self._require_system()
+        step = execution.current_step()
+        _, version = system.db.read(step.page)
+        prior = execution.readset.get(step.page)
+        if prior is None:
+            execution.readset[step.page] = ReadRecord(
+                position=execution.pos, version=version, time=system.sim.now
+            )
+        else:
+            # Re-access of a page (possible in hand-built programs): keep the
+            # first position, observe the latest version.
+            execution.readset[step.page] = ReadRecord(
+                position=prior.position, version=version, time=system.sim.now
+            )
+        if step.is_write and step.page not in execution.writeset:
+            execution.writeset[step.page] = execution.pos
+        execution.pos += 1
+        execution.work += system.resources.step_service_time
+        self.after_step(execution, step)
+        if execution.state is ExecutionState.RUNNING:
+            self._advance(execution)
+
+    # ------------------------------------------------------------------
+    # commit helper
+    # ------------------------------------------------------------------
+
+    def _commit(self, execution: Execution) -> None:
+        """Commit a FINISHED execution on behalf of its transaction."""
+        if execution.state is not ExecutionState.FINISHED:
+            raise ProtocolError(f"cannot commit {execution!r}")
+        execution.state = ExecutionState.COMMITTED
+        self._require_system().commit(execution)

@@ -1,0 +1,145 @@
+"""A page-level lock table for two-phase locking.
+
+The table is purely mechanical — it tracks holders and waiter queues.  All
+*policy* (who aborts whom, when waiters are granted) lives in the protocol
+(:mod:`repro.protocols.twopl_pa`), because priority-abort decisions need
+transaction priorities and restart machinery the table should not know
+about.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProtocolError
+
+
+class LockMode(enum.IntEnum):
+    """Lock modes; ``WRITE`` subsumes ``READ``."""
+
+    READ = 0
+    WRITE = 1
+
+
+def compatible(a: LockMode, b: LockMode) -> bool:
+    """Whether two locks by *different* transactions can coexist."""
+    return a is LockMode.READ and b is LockMode.READ
+
+
+@dataclass
+class LockRequest:
+    """A queued lock request.
+
+    Attributes:
+        txn_id: Requesting transaction.
+        mode: Requested mode.
+        key: Priority key (smaller = more urgent); orders the queue.
+        alive: Cleared when the requester aborts or is granted.
+    """
+
+    txn_id: int
+    mode: LockMode
+    key: tuple
+    alive: bool = True
+
+
+@dataclass
+class _LockEntry:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    queue: list[LockRequest] = field(default_factory=list)
+
+
+class LockTable:
+    """Tracks lock holders and waiter queues per page."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, _LockEntry] = {}
+        self._held_by: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def mode_held(self, txn_id: int, page: int) -> Optional[LockMode]:
+        """Mode ``txn_id`` holds on ``page``, or ``None``."""
+        entry = self._entries.get(page)
+        if entry is None:
+            return None
+        return entry.holders.get(txn_id)
+
+    def holders(self, page: int) -> dict[int, LockMode]:
+        """Copy of the holder map for ``page``."""
+        entry = self._entries.get(page)
+        return dict(entry.holders) if entry else {}
+
+    def conflicting_holders(self, txn_id: int, page: int, mode: LockMode) -> list[int]:
+        """Other transactions whose held lock conflicts with a request."""
+        entry = self._entries.get(page)
+        if entry is None:
+            return []
+        return [
+            holder
+            for holder, held in entry.holders.items()
+            if holder != txn_id and not compatible(mode, held)
+        ]
+
+    def waiters(self, page: int) -> list[LockRequest]:
+        """Live queued requests for ``page``, in priority order."""
+        entry = self._entries.get(page)
+        if entry is None:
+            return []
+        live = [r for r in entry.queue if r.alive]
+        live.sort(key=lambda r: r.key)
+        return live
+
+    def pages_held(self, txn_id: int) -> set[int]:
+        """Pages on which ``txn_id`` holds any lock."""
+        return set(self._held_by.get(txn_id, ()))
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def grant(self, txn_id: int, page: int, mode: LockMode) -> None:
+        """Record a granted (or upgraded) lock."""
+        entry = self._entries.setdefault(page, _LockEntry())
+        current = entry.holders.get(txn_id)
+        if current is None or mode > current:
+            entry.holders[txn_id] = mode
+        self._held_by.setdefault(txn_id, set()).add(page)
+
+    def enqueue(self, page: int, request: LockRequest) -> None:
+        """Queue a request that could not be granted."""
+        self._entries.setdefault(page, _LockEntry()).queue.append(request)
+
+    def cancel_requests(self, txn_id: int) -> None:
+        """Mark every queued request by ``txn_id`` dead."""
+        for entry in self._entries.values():
+            for request in entry.queue:
+                if request.txn_id == txn_id:
+                    request.alive = False
+
+    def release_all(self, txn_id: int) -> list[int]:
+        """Release every lock held by ``txn_id``; returns the pages freed."""
+        pages = self._held_by.pop(txn_id, set())
+        for page in pages:
+            entry = self._entries.get(page)
+            if entry is None or txn_id not in entry.holders:
+                raise ProtocolError(
+                    f"lock bookkeeping out of sync for T{txn_id} on page {page}"
+                )
+            entry.holders.pop(txn_id)
+            if not entry.holders and not any(r.alive for r in entry.queue):
+                self._entries.pop(page, None)
+        return sorted(pages)
+
+    def compact(self, page: int) -> None:
+        """Drop dead queue entries for ``page`` (called opportunistically)."""
+        entry = self._entries.get(page)
+        if entry is None:
+            return
+        entry.queue = [r for r in entry.queue if r.alive]
+        if not entry.holders and not entry.queue:
+            self._entries.pop(page, None)

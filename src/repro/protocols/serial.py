@@ -1,0 +1,42 @@
+"""Serial execution: the trivially correct (and trivially slow) oracle.
+
+Transactions run one at a time in arrival order.  Used by tests as a
+correctness reference (its histories are serial by construction) and by
+examples to illustrate what concurrency buys.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.protocols.base import CCProtocol, Execution
+from repro.txn.spec import TransactionSpec
+
+
+class SerialExecution(CCProtocol):
+    """One transaction at a time, FCFS."""
+
+    name = "Serial"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: Deque[TransactionSpec] = deque()
+        self._current: Optional[Execution] = None
+
+    def on_arrival(self, txn: TransactionSpec) -> None:
+        self._pending.append(txn)
+        if self._current is None:
+            self._start_next()
+
+    def on_finished(self, execution: Execution) -> None:
+        self._commit(execution)
+        self._current = None
+        self._start_next()
+
+    def _start_next(self) -> None:
+        if self._current is not None or not self._pending:
+            return
+        spec = self._pending.popleft()
+        self._current = Execution(spec)
+        self._start(self._current)

@@ -1,0 +1,6 @@
+"""The logical RTDBS model (paper Figure 12) and resource managers."""
+
+from repro.system.model import RTDBSystem
+from repro.system.resources import FiniteResources, InfiniteResources, ResourceManager
+
+__all__ = ["FiniteResources", "InfiniteResources", "RTDBSystem", "ResourceManager"]

@@ -1,0 +1,22 @@
+"""Transaction model and workload generation."""
+
+from repro.txn.generator import WorkloadGenerator
+from repro.txn.priority import (
+    ArrivalOrderPolicy,
+    EarliestDeadlineFirst,
+    HighestValueFirst,
+    PriorityPolicy,
+    ValueDensityPolicy,
+)
+from repro.txn.spec import Step, TransactionSpec
+
+__all__ = [
+    "ArrivalOrderPolicy",
+    "EarliestDeadlineFirst",
+    "HighestValueFirst",
+    "PriorityPolicy",
+    "Step",
+    "TransactionSpec",
+    "ValueDensityPolicy",
+    "WorkloadGenerator",
+]

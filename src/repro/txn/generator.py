@@ -1,0 +1,173 @@
+"""Workload generation (paper §4 baseline model).
+
+The baseline model: a database of 1,000 pages; each transaction accesses 16
+randomly selected pages; each accessed page is updated with probability
+25%; deadlines use a slack factor of 2; arrivals are Poisson.  Multi-class
+mixes (Figure 14(b)) weight classes by frequency and give each class its
+own length, slack, value, and penalty gradient.
+
+Randomness is split across named streams (arrivals / pages / writes /
+classes) so that, e.g., changing the class mix does not perturb arrival
+times — the variance-reduction discipline simulation studies rely on when
+comparing protocols "on the same workload".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.rng import RandomStreams
+from repro.errors import ConfigurationError
+from repro.txn.spec import Step, TransactionSpec
+from repro.values.classes import TransactionClass
+
+
+class WorkloadGenerator:
+    """Generates a stream of :class:`TransactionSpec` objects.
+
+    Args:
+        classes: Transaction classes to mix; selection probability is each
+            class's ``weight`` normalized over the mix.
+        num_pages: Database size; pages are selected uniformly without
+            replacement within a transaction.
+        arrival_rate: Poisson arrival rate λ (transactions per second).
+        step_duration: Per-page service time used for the a-priori
+            execution estimate that deadlines are derived from.
+        streams: Named random streams (see :class:`RandomStreams`).
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[TransactionClass],
+        num_pages: int,
+        arrival_rate: float,
+        step_duration: float,
+        streams: RandomStreams,
+    ) -> None:
+        if not classes:
+            raise ConfigurationError("need at least one transaction class")
+        if num_pages <= 0:
+            raise ConfigurationError(f"num_pages must be positive, got {num_pages}")
+        if arrival_rate <= 0:
+            raise ConfigurationError(
+                f"arrival_rate must be positive, got {arrival_rate}"
+            )
+        if step_duration <= 0:
+            raise ConfigurationError(
+                f"step_duration must be positive, got {step_duration}"
+            )
+        for cls in classes:
+            if cls.num_steps > num_pages:
+                raise ConfigurationError(
+                    f"class {cls.name!r} accesses {cls.num_steps} pages but the "
+                    f"database only has {num_pages}"
+                )
+        self._classes = list(classes)
+        self._num_pages = num_pages
+        self._arrival_rate = arrival_rate
+        self._step_duration = step_duration
+        self._streams = streams
+        weights = np.array([cls.weight for cls in classes], dtype=float)
+        self._class_probs = weights / weights.sum()
+        self._next_id = 0
+        self._clock = 0.0
+
+    @property
+    def arrival_rate(self) -> float:
+        """Poisson arrival rate λ in transactions per second."""
+        return self._arrival_rate
+
+    @property
+    def step_duration(self) -> float:
+        """Per-page service time the generator assumes for estimates."""
+        return self._step_duration
+
+    def next_transaction(self) -> TransactionSpec:
+        """Sample the next transaction, advancing the arrival clock."""
+        inter_arrival = self._streams["arrivals"].exponential(1.0 / self._arrival_rate)
+        self._clock += inter_arrival
+        return self._make(self._clock)
+
+    def generate(self, count: int) -> Iterator[TransactionSpec]:
+        """Yield ``count`` transactions in arrival order."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        for _ in range(count):
+            yield self.next_transaction()
+
+    def _make(self, arrival: float) -> TransactionSpec:
+        txn_class = self._pick_class()
+        pages = self._streams["pages"].choice(
+            self._num_pages, size=txn_class.num_steps, replace=False
+        )
+        write_flags = (
+            self._streams["writes"].random(txn_class.num_steps)
+            < txn_class.write_probability
+        )
+        steps = [
+            Step(page=int(page), is_write=bool(flag))
+            for page, flag in zip(pages, write_flags)
+        ]
+        spec = TransactionSpec.build(
+            txn_id=self._next_id,
+            arrival=arrival,
+            steps=steps,
+            txn_class=txn_class,
+            step_duration=self._step_duration,
+        )
+        self._next_id += 1
+        return spec
+
+    def _pick_class(self) -> TransactionClass:
+        if len(self._classes) == 1:
+            return self._classes[0]
+        index = self._streams["classes"].choice(
+            len(self._classes), p=self._class_probs
+        )
+        return self._classes[int(index)]
+
+
+def fixed_workload(
+    programs: Sequence[Sequence[Step]],
+    arrivals: Sequence[float],
+    txn_class: TransactionClass,
+    step_duration: float,
+    deadlines: Optional[Sequence[Optional[float]]] = None,
+) -> list[TransactionSpec]:
+    """Build a hand-crafted workload (used by the paper-figure vignettes).
+
+    Args:
+        programs: One step list per transaction.
+        arrivals: Arrival time per transaction (same length as programs).
+        txn_class: Class applied to every transaction.
+        step_duration: Per-page service time for deadline estimation.
+        deadlines: Optional explicit deadline per transaction; ``None``
+            entries fall back to the slack-factor rule.
+
+    Returns:
+        Specs with ids ``0..n-1`` in the given order.
+    """
+    if len(programs) != len(arrivals):
+        raise ConfigurationError(
+            f"{len(programs)} programs but {len(arrivals)} arrival times"
+        )
+    if deadlines is not None and len(deadlines) != len(programs):
+        raise ConfigurationError(
+            f"{len(programs)} programs but {len(deadlines)} deadlines"
+        )
+    specs = []
+    for i, (program, arrival) in enumerate(zip(programs, arrivals)):
+        deadline = deadlines[i] if deadlines is not None else None
+        specs.append(
+            TransactionSpec.build(
+                txn_id=i,
+                arrival=arrival,
+                steps=list(program),
+                txn_class=txn_class,
+                step_duration=step_duration,
+                deadline=deadline,
+            )
+        )
+    return specs

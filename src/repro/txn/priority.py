@@ -1,0 +1,82 @@
+"""Transaction priority policies.
+
+The paper's baseline adopts Earliest-Deadline-First for the protocols that
+consume priorities (2PL-PA's priority abort and WAIT-50's conflict-set
+test).  We also provide value-based policies used by the value-cognizant
+ablations (§3 motivates value and deadline as orthogonal properties).
+
+Priorities are exposed as *keys*: ``key(txn, now)`` returns a tuple that
+sorts **ascending by urgency** — the smallest key is the most urgent
+transaction.  All keys end with the transaction id so comparisons are total
+and deterministic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.txn.spec import TransactionSpec
+
+
+class PriorityPolicy(ABC):
+    """Orders transactions by urgency (smaller key = higher priority)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def key(self, txn: TransactionSpec, now: float) -> tuple:
+        """Return a sortable urgency key for ``txn`` at time ``now``."""
+
+    def higher_priority(self, a: TransactionSpec, b: TransactionSpec, now: float) -> bool:
+        """Whether ``a`` is strictly more urgent than ``b`` at ``now``."""
+        return self.key(a, now) < self.key(b, now)
+
+
+class EarliestDeadlineFirst(PriorityPolicy):
+    """EDF: earlier deadline wins (the paper's baseline policy).
+
+    Transactions past their deadline are demoted below all feasible ones
+    (Haritsa's treatment of tardy transactions in soft-deadline systems):
+    once late, a transaction cannot gain by beating a still-feasible one.
+    """
+
+    name = "edf"
+
+    def __init__(self, demote_tardy: bool = True) -> None:
+        self._demote_tardy = demote_tardy
+
+    def key(self, txn: TransactionSpec, now: float) -> tuple:
+        tardy = 1 if (self._demote_tardy and now > txn.deadline) else 0
+        return (tardy, txn.deadline, txn.txn_id)
+
+
+class ArrivalOrderPolicy(PriorityPolicy):
+    """FCFS: earlier arrival wins (a deadline-oblivious control)."""
+
+    name = "fcfs"
+
+    def key(self, txn: TransactionSpec, now: float) -> tuple:
+        return (txn.arrival, txn.txn_id)
+
+
+class HighestValueFirst(PriorityPolicy):
+    """Greater *current* value wins; ties break towards earlier deadline."""
+
+    name = "value"
+
+    def key(self, txn: TransactionSpec, now: float) -> tuple:
+        return (-txn.value_function(now), txn.deadline, txn.txn_id)
+
+
+class ValueDensityPolicy(PriorityPolicy):
+    """Value per unit of remaining estimated work (greedy value density).
+
+    Approximates Locke's best-effort ordering; used by the value-cognizant
+    replacement-policy ablation.
+    """
+
+    name = "value-density"
+
+    def key(self, txn: TransactionSpec, now: float) -> tuple:
+        density = txn.value_function(now) / txn.estimated_duration
+        return (-density, txn.deadline, txn.txn_id)

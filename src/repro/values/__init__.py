@@ -1,0 +1,29 @@
+"""Transaction value machinery (paper §3.1).
+
+Value functions capture the worth of a transaction as a function of its
+commit time (Jensen/Locke/Tokuda-style step functions with a linear penalty
+gradient past the deadline).  Execution-time distributions provide the
+survival functions that SCC-DC's probabilistic commit deferral relies on.
+"""
+
+from repro.values.classes import TransactionClass
+from repro.values.distributions import (
+    DeterministicExecution,
+    EmpiricalExecution,
+    ExecutionDistribution,
+    ExponentialExecution,
+    NormalExecution,
+    UniformExecution,
+)
+from repro.values.value_function import ValueFunction
+
+__all__ = [
+    "DeterministicExecution",
+    "EmpiricalExecution",
+    "ExecutionDistribution",
+    "ExponentialExecution",
+    "NormalExecution",
+    "TransactionClass",
+    "UniformExecution",
+    "ValueFunction",
+]

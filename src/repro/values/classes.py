@@ -1,0 +1,89 @@
+"""Transaction classes (paper §3.2, "Basic Definitions and Assumptions").
+
+The paper classifies transactions by run-time characteristics: each class
+:math:`C_u` has an average execution time :math:`E_{C_u}`, a finish
+probability (survival) function :math:`F_u`, and — in the two-class System
+Value experiment of Figure 14(b) — its own value magnitude and penalty
+gradient.  A :class:`TransactionClass` bundles the *parameters* from which
+the workload generator samples concrete transactions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.values.distributions import ExecutionDistribution
+
+
+@dataclass(frozen=True)
+class TransactionClass:
+    """Static description of one class of transactions.
+
+    Attributes:
+        name: Class label (appears in metrics breakdowns).
+        num_steps: Number of page accesses per transaction of this class.
+        write_probability: Probability each accessed page is also updated
+            (read-modify-write), the paper's 25% in the baseline model.
+        slack_factor: Deadline slack: ``deadline = arrival + slack_factor *
+            estimated_execution_time`` (paper baseline: 2).
+        value: Full value :math:`v_u` earned by an on-time commit.
+        alpha_degrees: Criticalness angle; the penalty gradient is
+            :math:`\\tan\\alpha` (paper baseline for value experiments: 45°).
+        weight: Relative frequency of the class in the workload mix
+            (normalized across classes by the generator).
+        execution: Optional execution-time distribution used by SCC-DC/VW.
+            When ``None``, the system model derives a distribution from the
+            class's step count and the configured per-step service time.
+    """
+
+    name: str
+    num_steps: int
+    write_probability: float
+    slack_factor: float
+    value: float = 1.0
+    alpha_degrees: float = 45.0
+    weight: float = 1.0
+    execution: Optional[ExecutionDistribution] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_steps <= 0:
+            raise ConfigurationError(f"num_steps must be positive, got {self.num_steps}")
+        if not 0.0 <= self.write_probability <= 1.0:
+            raise ConfigurationError(
+                f"write_probability must be in [0, 1], got {self.write_probability}"
+            )
+        if self.slack_factor < 1.0:
+            raise ConfigurationError(
+                f"slack_factor must be >= 1, got {self.slack_factor}"
+            )
+        if self.value < 0:
+            raise ConfigurationError(f"value must be >= 0, got {self.value}")
+        if not 0.0 <= self.alpha_degrees <= 90.0:
+            raise ConfigurationError(
+                f"alpha_degrees must be in [0, 90], got {self.alpha_degrees}"
+            )
+        if self.weight <= 0:
+            raise ConfigurationError(f"weight must be positive, got {self.weight}")
+
+    @property
+    def penalty_gradient(self) -> float:
+        """:math:`\\tan\\alpha` — value lost per second of tardiness."""
+        if self.alpha_degrees == 90.0:
+            return math.inf
+        return math.tan(math.radians(self.alpha_degrees))
+
+    def with_execution(self, execution: ExecutionDistribution) -> "TransactionClass":
+        """Return a copy of this class with the execution distribution set."""
+        return TransactionClass(
+            name=self.name,
+            num_steps=self.num_steps,
+            write_probability=self.write_probability,
+            slack_factor=self.slack_factor,
+            value=self.value,
+            alpha_degrees=self.alpha_degrees,
+            weight=self.weight,
+            execution=execution,
+        )

@@ -1,0 +1,30 @@
+"""Unit tests for committed-history recording."""
+
+from repro.analysis.history import History
+
+
+def test_records_in_commit_order():
+    history = History()
+    history.record(1, 1.0, reads={0: 0}, writes={0: 1})
+    history.record(2, 2.0, reads={0: 1}, writes={})
+    assert len(history) == 2
+    assert [t.txn_id for t in history] == [1, 2]
+    assert history.transactions[0].commit_time == 1.0
+
+
+def test_installer_lookup():
+    history = History()
+    history.record(1, 1.0, reads={}, writes={5: 1})
+    history.record(2, 2.0, reads={}, writes={5: 2})
+    assert history.installer_of(5, 1) == 1
+    assert history.installer_of(5, 2) == 2
+    assert history.installer_of(5, 0) is None  # initial load
+    assert history.installer_of(9, 1) is None
+
+
+def test_records_are_snapshots():
+    history = History()
+    reads = {0: 0}
+    history.record(1, 1.0, reads=reads, writes={})
+    reads[0] = 99
+    assert history.transactions[0].reads[0] == 0

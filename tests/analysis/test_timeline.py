@@ -1,0 +1,114 @@
+"""Tests for the ASCII timeline recorder."""
+
+import pytest
+
+from repro.analysis.timeline import TimelineRecorder
+from repro.core.scc_2s import SCC2S
+from repro.errors import ConfigurationError
+from repro.txn.generator import fixed_workload
+from tests.conftest import R, W, build_system, make_class
+
+
+def run_fig2b(recorder):
+    protocol = SCC2S()
+    recorder.attach(protocol)
+    specs = fixed_workload(
+        programs=[
+            [W(0), R(1), R(2)],
+            [R(3), R(0), R(4), R(5)],
+        ],
+        arrivals=[0.0, 0.0],
+        txn_class=make_class(num_steps=4),
+        step_duration=1.0,
+    )
+    system = build_system(protocol, num_pages=16)
+    system.load_workload(specs)
+    system.run()
+    return protocol, system
+
+
+def test_records_full_lifecycle():
+    recorder = TimelineRecorder()
+    run_fig2b(recorder)
+    kinds = [e.kind for e in recorder.events]
+    assert "spawn" in kinds
+    assert "block" in kinds
+    assert "promote" in kinds
+    assert "commit" in kinds
+    assert "kill" in kinds
+    # Figure 2(b): no restart happens under SCC.
+    assert "restart" not in kinds
+
+
+def test_event_sequence_for_victim_transaction():
+    recorder = TimelineRecorder()
+    run_fig2b(recorder)
+    kinds = [e.kind for e in recorder.events_for(1)]
+    # T1: optimistic spawn; speculative spawn+block (order depends on the
+    # fork instant); the optimistic dies at T0's commit; the shadow is
+    # promoted, finishes and commits.
+    assert kinds[0] == "spawn"
+    assert kinds[-2:] == ["finish", "commit"]
+    assert "promote" in kinds
+    assert kinds.index("kill") < kinds.index("promote")
+
+
+def test_lanes_per_transaction():
+    recorder = TimelineRecorder()
+    run_fig2b(recorder)
+    assert len(recorder.lanes_for(0)) == 1  # never speculated
+    assert len(recorder.lanes_for(1)) == 2  # optimistic + shadow
+
+
+def test_render_produces_expected_markers():
+    recorder = TimelineRecorder()
+    run_fig2b(recorder)
+    art = recorder.render(width=40)
+    lines = art.splitlines()
+    assert len(lines) == 4  # header + 3 lanes
+    assert "T0" in art and "T1" in art
+    body = "\n".join(lines[1:])
+    for marker in "SBPCA":
+        assert marker in body, marker
+    # The promoted lane shows a blocked stretch then execution.
+    promoted_line = next(line for line in lines[1:] if "P" in line)
+    assert "." in promoted_line
+    assert "=" in promoted_line
+
+
+def test_render_empty_and_validation():
+    recorder = TimelineRecorder()
+    assert "no shadow events" in recorder.render()
+    run_fig2b(recorder)
+    with pytest.raises(ConfigurationError):
+        recorder.render(width=4)
+
+
+def test_attach_refuses_second_observer():
+    recorder = TimelineRecorder()
+    protocol, _ = run_fig2b(recorder)
+    with pytest.raises(ConfigurationError):
+        TimelineRecorder().attach(protocol)
+
+
+def test_observer_disabled_costs_nothing():
+    # A protocol without observer runs identically (same commit times).
+    from tests.conftest import commit_time_of
+
+    with_rec = TimelineRecorder()
+    _, traced = run_fig2b(with_rec)
+
+    protocol = SCC2S()
+    specs = fixed_workload(
+        programs=[
+            [W(0), R(1), R(2)],
+            [R(3), R(0), R(4), R(5)],
+        ],
+        arrivals=[0.0, 0.0],
+        txn_class=make_class(num_steps=4),
+        step_duration=1.0,
+    )
+    system = build_system(protocol, num_pages=16)
+    system.load_workload(specs)
+    system.run()
+    assert commit_time_of(system, 1) == commit_time_of(traced, 1)

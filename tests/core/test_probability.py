@@ -1,0 +1,180 @@
+"""Unit tests for SCC-DC's probabilistic machinery (Definitions 4-7)."""
+
+import pytest
+
+from repro.core.probability import (
+    AdoptionProfile,
+    ShadowComponent,
+    adoption_profiles,
+    expected_commit_value,
+    shadow_finish_probability,
+)
+from repro.core.scc_ks import SCCkS
+from repro.errors import ConfigurationError
+from repro.values.distributions import DeterministicExecution, ExponentialExecution
+from repro.values.value_function import ValueFunction
+from tests.conftest import R, W, build_system, make_class
+from repro.txn.spec import TransactionSpec
+
+
+def _system_with(programs, values=None, deadlines=None, until=1.7):
+    protocol = SCCkS(k=3)
+    specs = []
+    for i, program in enumerate(programs):
+        value = values[i] if values else 1.0
+        deadline = deadlines[i] if deadlines else 100.0
+        specs.append(
+            TransactionSpec.build(
+                txn_id=i,
+                arrival=0.0 if i > 0 else 0.0,
+                steps=program,
+                txn_class=make_class(num_steps=len(program), value=value),
+                step_duration=1.0,
+                deadline=deadline,
+            )
+        )
+    system = build_system(protocol, num_pages=64)
+    system.load_workload(specs)
+    system.sim.run(until=until)
+    return protocol, system
+
+
+class TestShadowFinishProbability:
+    def test_definition4_deterministic(self):
+        dist = DeterministicExecution(4.0)
+        # Shadow ran 1s; at wall time now+3 its total execution is 4.
+        assert shadow_finish_probability(dist, elapsed=1.0, now=10.0, wall=13.0) == 1.0
+        assert shadow_finish_probability(dist, elapsed=1.0, now=10.0, wall=12.0) == 0.0
+
+    def test_wall_before_now_is_zero(self):
+        dist = ExponentialExecution(1.0)
+        assert shadow_finish_probability(dist, 0.0, now=5.0, wall=4.0) == 0.0
+
+    def test_conditional_formula(self):
+        import math
+
+        dist = ExponentialExecution(1.0)
+        # Memoryless: P[finish by now+1 | elapsed anything] = 1 - e^-1.
+        p = shadow_finish_probability(dist, elapsed=7.0, now=0.0, wall=1.0)
+        assert p == pytest.approx(1.0 - math.exp(-1.0))
+
+
+class TestAdoptionProfiles:
+    def test_no_conflicts_probability_one(self):
+        protocol, _ = _system_with([[R(0), R(1)], [R(2), R(3)]])
+        profiles = adoption_profiles(protocol, now=0.5)
+        for profile in profiles.values():
+            assert profile.p_optimistic == pytest.approx(1.0)
+            assert profile.p_writer == {}
+
+    def test_single_conflict_equal_values_splits_evenly(self):
+        # T0 reads page 0 which T1 wrote: P_o = V0 / (V0 + V1*P_o_1) and
+        # T1 has no incoming conflicts so P_o_1 = 1 -> P_o_0 = 0.5.
+        protocol, _ = _system_with(
+            [[R(5), R(0), R(6), R(7)], [W(0), R(8), R(9), R(10)]],
+            until=2.5,
+        )
+        profiles = adoption_profiles(protocol, now=2.4)
+        p0 = profiles[0]
+        assert p0.p_optimistic == pytest.approx(0.5)
+        assert p0.p_writer[1] == pytest.approx(0.5)
+        assert p0.total() == pytest.approx(1.0)
+        assert profiles[1].p_optimistic == pytest.approx(1.0)
+
+    def test_higher_valued_writer_gets_more_mass(self):
+        protocol, _ = _system_with(
+            [[R(5), R(0), R(6), R(7)], [W(0), R(8), R(9), R(10)]],
+            values=[1.0, 3.0],
+            until=2.5,
+        )
+        profiles = adoption_profiles(protocol, now=2.4)
+        assert profiles[0].p_writer[1] == pytest.approx(0.75)
+        assert profiles[0].p_optimistic == pytest.approx(0.25)
+
+    def test_exclude_removes_committer_from_denominators(self):
+        protocol, _ = _system_with(
+            [[R(5), R(0), R(6), R(7)], [W(0), R(8), R(9), R(10)]],
+            until=2.5,
+        )
+        profiles = adoption_profiles(protocol, now=2.4, exclude=1)
+        assert profiles[0].p_optimistic == pytest.approx(1.0)
+        assert 1 not in profiles
+
+    def test_mass_always_sums_to_one(self):
+        protocol, _ = _system_with(
+            [
+                [R(5), R(0), R(1), R(7)],
+                [W(0), R(8), R(9), R(10)],
+                [W(1), R(11), R(12), R(13)],
+            ],
+            until=2.5,
+        )
+        for profile in adoption_profiles(protocol, now=2.4).values():
+            assert profile.total() == pytest.approx(1.0)
+
+
+class TestExpectedCommitValue:
+    def test_finished_component_commits_next_tick(self):
+        vf = ValueFunction(value=10.0, deadline=100.0, penalty_gradient=1.0)
+        result = expected_commit_value(
+            vf,
+            DeterministicExecution(1.0),
+            [ShadowComponent(probability=1.0, elapsed=None)],
+            now=0.0,
+            delta=0.5,
+        )
+        assert result == pytest.approx(10.0)
+
+    def test_deterministic_component_lands_at_remaining_time(self):
+        # 4s total, 1s done -> finishes 3s from now.  Deadline at 2s with
+        # unit gradient: V(3) = 10 - 1 = 9 (tick grid aligned, delta=1).
+        vf = ValueFunction(value=10.0, deadline=2.0, penalty_gradient=1.0)
+        result = expected_commit_value(
+            vf,
+            DeterministicExecution(4.0),
+            [ShadowComponent(probability=1.0, elapsed=1.0)],
+            now=0.0,
+            delta=1.0,
+        )
+        assert result == pytest.approx(9.0)
+
+    def test_probability_weights_mix(self):
+        vf = ValueFunction(value=10.0, deadline=100.0, penalty_gradient=1.0)
+        components = [
+            ShadowComponent(probability=0.3, elapsed=None),
+            ShadowComponent(probability=0.7, elapsed=0.0),
+        ]
+        result = expected_commit_value(
+            vf, DeterministicExecution(2.0), components, now=0.0, delta=1.0
+        )
+        # Both paths commit before the deadline: full value either way.
+        assert result == pytest.approx(10.0)
+
+    def test_mass_conserved_for_exponential(self):
+        vf = ValueFunction(value=1.0, deadline=1000.0, penalty_gradient=0.0)
+        result = expected_commit_value(
+            vf,
+            ExponentialExecution(1.0),
+            [ShadowComponent(probability=1.0, elapsed=0.0)],
+            now=0.0,
+            delta=0.25,
+            epsilon=0.001,
+        )
+        # Flat value function: E[V] must equal the value (mass sums to 1).
+        assert result == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_probability_component_ignored(self):
+        vf = ValueFunction(value=5.0, deadline=10.0, penalty_gradient=1.0)
+        result = expected_commit_value(
+            vf,
+            DeterministicExecution(1.0),
+            [ShadowComponent(probability=0.0, elapsed=0.0)],
+            now=0.0,
+            delta=1.0,
+        )
+        assert result == 0.0
+
+    def test_invalid_delta_rejected(self):
+        vf = ValueFunction(value=5.0, deadline=10.0, penalty_gradient=1.0)
+        with pytest.raises(ConfigurationError):
+            expected_commit_value(vf, DeterministicExecution(1.0), [], 0.0, 0.0)

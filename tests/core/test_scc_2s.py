@@ -1,0 +1,138 @@
+"""Scenario tests for SCC-2S, including the paper's Figure 2 vignettes.
+
+Unit step time makes every schedule exact; see tests/conftest.py.
+"""
+
+import pytest
+
+from repro.analysis.serializability import check_serializable
+from repro.core.scc_2s import SCC2S
+from repro.protocols.occ_bc import OCCBroadcastCommit
+from tests.conftest import R, W, commit_order, commit_time_of, run_scenario
+
+
+def test_no_conflicts_behaves_like_occ():
+    system = run_scenario(
+        SCC2S(),
+        programs=[[R(0), W(1)], [R(2), R(3)]],
+    )
+    assert commit_time_of(system, 0) == pytest.approx(2.0)
+    assert commit_time_of(system, 1) == pytest.approx(2.0)
+    assert system.metrics.shadow_aborts == 0
+    assert system.metrics.restarts == 0
+
+
+def test_figure2a_undeveloped_conflict():
+    # Figure 2(a): T2 reaches validation before T1 -> T2 commits untouched
+    # and its shadow is simply discarded; T1 later commits too.
+    system = run_scenario(
+        SCC2S(),
+        programs=[
+            [W(0), R(4), R(5)],  # T1 writes x at t=1
+            [R(6), R(0)],  # T2 reads x at t=2, validates before T1
+        ],
+    )
+    assert commit_order(system) == [1, 0]
+    assert commit_time_of(system, 1) == pytest.approx(2.0)
+    assert commit_time_of(system, 0) == pytest.approx(3.0)
+    assert system.metrics.restarts == 0
+    # The speculative shadow created for the (undeveloped) conflict was
+    # aborted when its transaction committed from the optimistic shadow.
+    assert system.metrics.shadow_aborts == 1
+    # T2 committed the pre-T1 version of x: serialization T2 < T1.
+    history = {t.txn_id: t for t in system.history}
+    assert history[1].reads[0] == 0
+
+
+def test_figure2b_developed_conflict_adopts_shadow():
+    # Figure 2(b): T1 validates first; T2's optimistic shadow (which read
+    # x) is aborted and the blocked shadow resumes from the conflict point
+    # instead of restarting from scratch.
+    # T1 = [W(x), R, R] commits at 3.  T2 = [R(3), R(x), R(4), R(5)]:
+    # optimistic reads 3@1, x@2, 4@3 (killed at 3); the speculative shadow
+    # forked at position 1 resumes at t=3: x@4, 4@5, 5@6 -> commit 6.
+    system = run_scenario(
+        SCC2S(),
+        programs=[
+            [W(0), R(1), R(2)],
+            [R(3), R(0), R(4), R(5)],
+        ],
+    )
+    assert commit_time_of(system, 0) == pytest.approx(3.0)
+    assert commit_time_of(system, 1) == pytest.approx(6.0)
+    assert system.metrics.restarts == 0  # never restarted from scratch
+
+
+def test_scc_beats_occ_bc_by_the_saved_prefix():
+    programs = [
+        [W(0), R(1), R(2)],
+        [R(3), R(0), R(4), R(5)],
+    ]
+    occ_bc = run_scenario(OCCBroadcastCommit(), programs=[list(p) for p in programs])
+    scc = run_scenario(SCC2S(), programs=[list(p) for p in programs])
+    # OCC-BC restarts T2 from scratch at t=3: commits at 7.  SCC-2S saved
+    # the one-step prefix before the conflict: commits at 6.
+    assert commit_time_of(occ_bc, 1) == pytest.approx(7.0)
+    assert commit_time_of(scc, 1) == pytest.approx(6.0)
+    assert occ_bc.metrics.restarts == 1
+    assert scc.metrics.restarts == 0
+
+
+def test_conflict_at_position_zero_equals_restart():
+    # When the conflicting read is the very first step there is no prefix
+    # to save: SCC-2S and OCC-BC commit at the same time.
+    programs = [
+        [W(0), R(1), R(2)],
+        [R(0), R(4), R(5), R(6)],
+    ]
+    occ_bc = run_scenario(OCCBroadcastCommit(), programs=[list(p) for p in programs])
+    scc = run_scenario(SCC2S(), programs=[list(p) for p in programs])
+    assert commit_time_of(occ_bc, 1) == pytest.approx(commit_time_of(scc, 1))
+
+
+def test_write_after_read_conflict_forks_catch_up_shadow():
+    # The writer's update arrives after the reader already read the page:
+    # the Write Rule must create a from-scratch catch-up shadow.
+    # T0 = [R(1), R(0), R(2), R(3)] reads page 0 at position 1 (t=2).
+    # T1 = [R(4), R(5), W(0)] writes page 0 at t=3 and commits at t=3.
+    # T0's optimistic (pos 3) dies; the catch-up shadow forked at t=3 from
+    # scratch targets position 1 but is still at position 0 -> promoted
+    # while running; resumes: R(1)@4, R(0)@5, R(2)@6, R(3)@7.
+    system = run_scenario(
+        SCC2S(),
+        programs=[
+            [R(1), R(0), R(2), R(3)],
+            [R(4), R(5), W(0)],
+        ],
+    )
+    assert commit_time_of(system, 1) == pytest.approx(3.0)
+    assert commit_time_of(system, 0) == pytest.approx(7.0)
+    assert system.metrics.restarts == 0
+    assert check_serializable(system.history)
+
+
+def test_serializable_under_heavy_contention():
+    programs = [[W(i % 3), R((i + 1) % 3), R(3 + i)] for i in range(9)]
+    system = run_scenario(
+        SCC2S(),
+        programs=programs,
+        arrivals=[0.4 * i for i in range(9)],
+        num_pages=16,
+    )
+    assert len(commit_order(system)) == 9
+    assert check_serializable(system.history)
+
+
+def test_promoted_shadow_reads_fresh_values():
+    # After promotion the shadow re-reads the conflict page and must see
+    # the committed writer's version (checked by the system at commit).
+    system = run_scenario(
+        SCC2S(),
+        programs=[
+            [W(0), R(1)],
+            [R(2), R(0), R(3)],
+        ],
+    )
+    assert check_serializable(system.history)
+    history = {t.txn_id: t for t in system.history}
+    assert history[1].reads[0] == 1  # read version installed by T0

@@ -1,0 +1,126 @@
+"""Scenario tests for SCC-DC (probabilistic deferred commit, §3.2)."""
+
+import pytest
+
+from repro.analysis.serializability import check_serializable
+from repro.core.scc_2s import SCC2S
+from repro.core.scc_dc import SCCDC, DCTermination
+from repro.errors import ConfigurationError
+from repro.txn.spec import TransactionSpec
+from tests.conftest import R, W, build_system, commit_time_of, make_class
+
+
+def run_value_scenario(protocol, deadlines, values, programs, alphas=None):
+    specs = [
+        TransactionSpec.build(
+            txn_id=i,
+            arrival=0.0,
+            steps=programs[i],
+            txn_class=make_class(
+                num_steps=len(programs[i]),
+                value=values[i],
+                alpha_degrees=(alphas or [45.0] * len(programs))[i],
+            ),
+            step_duration=1.0,
+            deadline=deadlines[i],
+        )
+        for i in range(len(programs))
+    ]
+    system = build_system(protocol, num_pages=64)
+    system.load_workload(specs)
+    system.run()
+    return system
+
+
+def test_commits_happen_on_the_tick_grid():
+    # A conflict-free transaction finishing at t=2.0 must wait for the
+    # next Δ-tick (Δ=0.3 -> 2.1) before committing: the paper's "special
+    # system clock" semantics.
+    system = run_value_scenario(
+        SCCDC(period=0.3),
+        deadlines=[10.0],
+        values=[1.0],
+        programs=[[R(0), R(1)]],
+    )
+    assert commit_time_of(system, 0) == pytest.approx(2.1)
+
+
+def test_figure10_deferment_with_probabilistic_rule():
+    # The same Figure 10 scenario as the VW tests: SCC-DC's expected-value
+    # comparison must also defer the cheap writer for the valuable reader.
+    system = run_value_scenario(
+        SCCDC(period=0.25),
+        deadlines=[3.0, 4.5],
+        values=[1.0, 10.0],
+        programs=[
+            [R(8), W(0)],
+            [R(0), R(9), R(10), R(11)],
+        ],
+    )
+    assert commit_time_of(system, 1) <= 4.5  # the valuable reader is on time
+    assert system.metrics.summary().deferred_commits >= 1
+    assert system.metrics.restarts == 0
+    history = {t.txn_id: t for t in system.history}
+    assert history[1].reads[0] == 0  # serialized before the writer
+    assert check_serializable(system.history)
+
+
+def test_dc_beats_plain_scc_on_figure10_value():
+    programs = [[R(8), W(0)], [R(0), R(9), R(10), R(11)]]
+    plain = run_value_scenario(
+        SCC2S(), [3.0, 4.5], [1.0, 10.0], [list(p) for p in programs]
+    )
+    dc = run_value_scenario(
+        SCCDC(period=0.25), [3.0, 4.5], [1.0, 10.0], [list(p) for p in programs]
+    )
+    assert dc.metrics.summary().system_value > plain.metrics.summary().system_value
+
+
+def test_steep_gradient_commits_at_last_free_tick():
+    # A steep-gradient (tan 85° ≈ 11.4) finished writer defers only while
+    # deferral is free — its value is flat until the deadline at t=3 —
+    # and commits at the last tick before decay would bite, rather than
+    # waiting until t=4 for the cheap reader (which a 45° writer would).
+    system = run_value_scenario(
+        SCCDC(period=0.25),
+        deadlines=[3.0, 4.5],
+        values=[10.0, 0.5],
+        alphas=[85.0, 45.0],
+        programs=[
+            [R(8), W(0)],
+            [R(0), R(9), R(10), R(11)],
+        ],
+    )
+    assert commit_time_of(system, 0) == pytest.approx(3.0)
+    # The writer banked its full value; the reader re-executes and is late.
+    assert commit_time_of(system, 1) > 4.5
+    assert check_serializable(system.history)
+
+
+def test_drains_under_contention():
+    programs = [[W(i % 3), R((i + 1) % 3), R(10 + i)] for i in range(8)]
+    protocol = SCCDC(period=0.2)
+    specs = [
+        TransactionSpec.build(
+            txn_id=i,
+            arrival=0.3 * i,
+            steps=programs[i],
+            txn_class=make_class(num_steps=3),
+            step_duration=1.0,
+        )
+        for i in range(8)
+    ]
+    system = build_system(protocol, num_pages=32)
+    system.load_workload(specs)
+    system.run()
+    assert len(system.history) == 8
+    assert check_serializable(system.history)
+
+
+def test_parameters_validated():
+    with pytest.raises(ConfigurationError):
+        SCCDC(period=0.0)
+    with pytest.raises(ConfigurationError):
+        DCTermination(period=0.1, epsilon=0.0)
+    with pytest.raises(ConfigurationError):
+        DCTermination(period=0.1, epsilon=1.0)

@@ -1,0 +1,69 @@
+"""Unit tests for SCC shadows."""
+
+from repro.core.shadow import Shadow, ShadowMode
+from repro.protocols.base import ExecutionState, ReadRecord
+from repro.txn.spec import TransactionSpec
+from tests.conftest import R, W, make_class
+
+
+def spec(steps=None):
+    steps = steps or [R(0), W(1), R(2)]
+    return TransactionSpec.build(
+        txn_id=1,
+        arrival=0.0,
+        steps=steps,
+        txn_class=make_class(num_steps=len(steps)),
+        step_duration=1.0,
+    )
+
+
+def test_fork_copies_state_instantaneously():
+    parent = Shadow(spec(), ShadowMode.OPTIMISTIC)
+    parent.pos = 2
+    parent.readset = {0: ReadRecord(0, 0, 1.0), 1: ReadRecord(1, 0, 2.0)}
+    parent.writeset = {1: 1}
+    parent.work = 2.0
+    child = parent.fork(ShadowMode.SPECULATIVE, frozenset({9}))
+    assert child.pos == 2
+    assert child.forked_at == 2
+    assert child.readset == parent.readset
+    assert child.readset is not parent.readset
+    assert child.writeset == parent.writeset
+    assert child.work == 0.0  # fork itself costs nothing
+    assert child.wait_for == frozenset({9})
+    assert child.state is ExecutionState.READY
+    assert child.serial != parent.serial
+
+
+def test_fork_is_independent_after_copy():
+    parent = Shadow(spec(), ShadowMode.OPTIMISTIC)
+    child = parent.fork(ShadowMode.SPECULATIVE, frozenset({2}))
+    parent.readset[5] = ReadRecord(0, 0, 0.0)
+    assert 5 not in child.readset
+
+
+def test_promote_clears_speculation():
+    shadow = Shadow(spec(), ShadowMode.SPECULATIVE, frozenset({3, 4}))
+    assert shadow.waits_on(3)
+    shadow.promote()
+    assert shadow.mode is ShadowMode.OPTIMISTIC
+    assert shadow.wait_for == frozenset()
+    assert not shadow.waits_on(3)
+
+
+def test_has_read_any():
+    shadow = Shadow(spec(), ShadowMode.OPTIMISTIC)
+    shadow.readset = {0: ReadRecord(0, 0, 0.0), 7: ReadRecord(1, 0, 0.0)}
+    assert shadow.has_read_any({7, 9})
+    assert not shadow.has_read_any({8, 9})
+    assert not shadow.has_read_any(set())
+
+
+def test_alive_and_done_flags():
+    shadow = Shadow(spec([R(0)]), ShadowMode.OPTIMISTIC)
+    assert shadow.alive
+    assert not shadow.done
+    shadow.pos = 1
+    assert shadow.done
+    shadow.state = ExecutionState.ABORTED
+    assert not shadow.alive

@@ -1,0 +1,62 @@
+"""Tests for the analytic SCC-OB/SCC-CB shadow-count model (Figure 3 / §2)."""
+
+import pytest
+
+from repro.core.shadow_counts import (
+    figure3_table,
+    scc_cb_max_concurrent_shadows,
+    scc_cb_total_shadows,
+    scc_ob_shadows,
+    scc_ob_shadows_enumerated,
+)
+from repro.errors import ConfigurationError
+
+
+def test_paper_figure3_values_n3():
+    # Figure 3: five shadows for T3 under SCC-OB, three under SCC-CB.
+    assert scc_ob_shadows(3) == 5
+    assert scc_cb_max_concurrent_shadows(3) == 3
+    assert scc_cb_total_shadows(3) == 3
+
+
+def test_small_values():
+    assert scc_ob_shadows(1) == 1  # just the optimistic shadow
+    assert scc_ob_shadows(2) == 2
+    assert scc_cb_total_shadows(1) == 0
+    assert scc_cb_total_shadows(2) == 1
+
+
+@pytest.mark.parametrize("n", range(1, 9))
+def test_formula_matches_enumeration(n):
+    assert scc_ob_shadows(n) == scc_ob_shadows_enumerated(n)
+
+
+def test_factorial_growth_vs_quadratic():
+    # The paper's point: O((n-1)!) vs n(n-1)/2.
+    for n in range(4, 10):
+        assert scc_ob_shadows(n) > scc_cb_total_shadows(n)
+    # Growth ratio explodes for SCC-OB but stays modest for SCC-CB.
+    assert scc_ob_shadows(9) / scc_ob_shadows(8) > 7
+    assert scc_cb_total_shadows(9) / scc_cb_total_shadows(8) < 1.3
+
+
+def test_figure3_table_shape():
+    rows = figure3_table(max_n=5)
+    assert len(rows) == 5
+    assert rows[2] == (3, 5, 3, 3)
+
+
+@pytest.mark.parametrize("func", [
+    scc_ob_shadows,
+    scc_ob_shadows_enumerated,
+    scc_cb_max_concurrent_shadows,
+    scc_cb_total_shadows,
+])
+def test_invalid_n_rejected(func):
+    with pytest.raises(ConfigurationError):
+        func(0)
+
+
+def test_figure3_table_invalid():
+    with pytest.raises(ConfigurationError):
+        figure3_table(0)

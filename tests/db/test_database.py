@@ -1,0 +1,60 @@
+"""Unit tests for the versioned page database."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.errors import ConfigurationError
+
+
+def test_initial_state():
+    db = Database(4)
+    for page in range(4):
+        value, version = db.read(page)
+        assert value == 0
+        assert version == 0
+        assert db.page(page).last_writer is None
+
+
+def test_install_bumps_versions_and_values():
+    db = Database(4)
+    db.install({0: 42, 2: 99}, writer=7)
+    assert db.read(0) == (42, 1)
+    assert db.read(1) == (0, 0)
+    assert db.read(2) == (99, 1)
+    assert db.page(0).last_writer == 7
+    assert db.installs == 1
+
+
+def test_sequential_installs_accumulate_versions():
+    db = Database(2)
+    db.install({0: 1}, writer=1)
+    db.install({0: 2}, writer=2)
+    db.install({0: 3}, writer=3)
+    assert db.read(0) == (3, 3)
+    assert db.installs == 3
+
+
+def test_empty_install_is_noop():
+    db = Database(2)
+    db.install({}, writer=1)
+    assert db.installs == 0
+    assert db.read(0) == (0, 0)
+
+
+def test_out_of_range_page_rejected():
+    db = Database(2)
+    with pytest.raises(KeyError):
+        db.read(2)
+    with pytest.raises(KeyError):
+        db.read(-1)
+
+
+def test_zero_pages_rejected():
+    with pytest.raises(ConfigurationError):
+        Database(0)
+
+
+def test_versions_of_snapshot():
+    db = Database(4)
+    db.install({1: 5, 3: 6}, writer=1)
+    assert db.versions_of([0, 1, 3]) == {0: 0, 1: 1, 3: 1}

@@ -1,0 +1,61 @@
+"""Unit tests for named random streams."""
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(7)["arrivals"].random(5)
+    b = RandomStreams(7)["arrivals"].random(5)
+    assert np.allclose(a, b)
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(7)
+    a = streams["arrivals"].random(5)
+    b = streams["pages"].random(5)
+    assert not np.allclose(a, b)
+
+
+def test_access_order_does_not_matter():
+    one = RandomStreams(7)
+    _ = one["pages"].random(3)
+    a = one["arrivals"].random(5)
+    two = RandomStreams(7)
+    b = two["arrivals"].random(5)
+    assert np.allclose(a, b)
+
+
+def test_consuming_one_stream_leaves_others_untouched():
+    one = RandomStreams(7)
+    _ = one["noise"].random(1000)
+    a = one["arrivals"].random(5)
+    b = RandomStreams(7)["arrivals"].random(5)
+    assert np.allclose(a, b)
+
+
+def test_spawn_children_differ_from_parent_and_each_other():
+    root = RandomStreams(7)
+    c0 = root.spawn(0)["arrivals"].random(5)
+    c1 = root.spawn(1)["arrivals"].random(5)
+    parent = root["arrivals"].random(5)
+    assert not np.allclose(c0, c1)
+    assert not np.allclose(c0, parent)
+
+
+def test_spawn_is_reproducible():
+    a = RandomStreams(7).spawn(3)["x"].random(4)
+    b = RandomStreams(7).spawn(3)["x"].random(4)
+    assert np.allclose(a, b)
+
+
+def test_spawn_negative_rejected():
+    with pytest.raises(ValueError):
+        RandomStreams(7).spawn(-1)
+
+
+def test_non_integer_seed_rejected():
+    with pytest.raises(TypeError):
+        RandomStreams("seed")  # type: ignore[arg-type]

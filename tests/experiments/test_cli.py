@@ -1,0 +1,56 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_fig3_prints_table(capsys):
+    assert main(["fig3", "--max-n", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "SCC-OB" in out
+    assert "SCC-CB" in out
+    # n=3 row: 5 shadows under OB, 3 under CB.
+    assert any("3" in line and "5" in line for line in out.splitlines())
+
+
+def test_fig13a_reduced_scale(capsys):
+    code = main(
+        [
+            "fig13a",
+            "--transactions", "120",
+            "--replications", "1",
+            "--rates", "60,120",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Missed Ratio" in out
+    assert "SCC-2S" in out
+    assert "2PL-PA" in out
+    assert "60" in out and "120" in out
+
+
+def test_fig14a_reduced_scale(capsys):
+    code = main(
+        [
+            "fig14a",
+            "--transactions", "120",
+            "--replications", "1",
+            "--rates", "80",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "System Value" in out
+    assert "SCC-VW" in out
+
+
+def test_invalid_rates_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig13a", "--rates", "ten,twenty"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

@@ -1,0 +1,96 @@
+"""Smoke tests for the per-figure experiment definitions (reduced scale)."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import baseline_config, two_class_config
+
+TINY = baseline_config(
+    num_transactions=150,
+    warmup_commits=10,
+    replications=1,
+    arrival_rates=(60.0, 120.0),
+)
+TINY_TWO = two_class_config(
+    num_transactions=150,
+    warmup_commits=10,
+    replications=1,
+    arrival_rates=(60.0,),
+)
+
+
+def test_fig13_protocol_set():
+    assert set(figures.fig13_protocols()) == {
+        "SCC-2S",
+        "OCC-BC",
+        "WAIT-50",
+        "2PL-PA",
+    }
+
+
+def test_fig14_protocol_set():
+    assert set(figures.fig14_protocols()) == {
+        "SCC-VW",
+        "SCC-2S",
+        "OCC-BC",
+        "WAIT-50",
+    }
+
+
+def test_run_fig13_reduced():
+    results = figures.run_fig13(TINY)
+    assert set(results) == set(figures.fig13_protocols())
+    for sweep in results.values():
+        missed = sweep.missed_ratio()
+        assert len(missed) == 2
+        assert all(0.0 <= m <= 100.0 for m in missed)
+        tardiness = sweep.avg_tardiness()
+        assert all(t >= 0.0 for t in tardiness)
+
+
+def test_run_fig14a_reduced():
+    results = figures.run_fig14a(TINY.scaled(arrival_rates=[80.0]))
+    for sweep in results.values():
+        values = sweep.system_value()
+        assert len(values) == 1
+        assert values[0] <= 100.0
+
+
+def test_run_fig14b_two_classes():
+    results = figures.run_fig14b(TINY_TWO)
+    assert "SCC-VW" in results
+    for sweep in results.values():
+        assert len(sweep.system_value()) == 1
+
+
+def test_ablation_k_monotone_protocol_set():
+    factories = figures.ablation_k_protocols(ks=(1, 2, None))
+    assert set(factories) == {"SCC-1S", "SCC-2S", "SCC-CB (k=inf)"}
+    # Factories must produce fresh instances.
+    a = factories["SCC-2S"]()
+    b = factories["SCC-2S"]()
+    assert a is not b
+
+
+def test_ablation_replacement_runs():
+    results = figures.run_ablation_replacement(
+        TINY.scaled(arrival_rates=[100.0]), k=3
+    )
+    assert set(results) == {"LBFO", "deadline-aware", "value-aware"}
+
+
+def test_ablation_wait_threshold_runs():
+    results = figures.run_ablation_wait_threshold(
+        TINY.scaled(arrival_rates=[100.0]), thresholds=(0.5, 1.0)
+    )
+    assert set(results) == {"OCC-BC (no wait)", "WAIT-50", "WAIT-100"}
+
+
+def test_ablation_resources_runs():
+    results = figures.run_ablation_resources(
+        TINY.scaled(arrival_rates=[60.0]),
+        arrival_rate=60.0,
+        server_counts=(2, None),
+    )
+    assert any("servers=2" in key for key in results)
+    assert any("servers=inf" in key for key in results)

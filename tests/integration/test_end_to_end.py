@@ -1,0 +1,110 @@
+"""End-to-end integration tests on generated (baseline-model) workloads.
+
+These run every protocol on the paper's workload shape at moderate scale
+and assert the qualitative relationships the paper reports, plus global
+correctness (all commits, serializable histories — checked inside
+``run_once``).
+"""
+
+import pytest
+
+from repro.core.scc_2s import SCC2S
+from repro.core.scc_cb import SCCCB
+from repro.core.scc_ks import SCCkS
+from repro.core.scc_vw import SCCVW
+from repro.experiments.config import baseline_config, two_class_config
+from repro.experiments.runner import run_once
+from repro.protocols.occ import BasicOCC
+from repro.protocols.occ_bc import OCCBroadcastCommit
+from repro.protocols.twopl_pa import TwoPhaseLockingPA
+from repro.protocols.wait50 import Wait50
+
+CONFIG = baseline_config(
+    num_transactions=500,
+    warmup_commits=50,
+    replications=1,
+)
+RATE = 120.0  # high-contention operating point
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    factories = {
+        "OCC": BasicOCC,
+        "OCC-BC": OCCBroadcastCommit,
+        "WAIT-50": Wait50,
+        "2PL-PA": TwoPhaseLockingPA,
+        "SCC-2S": SCC2S,
+        "SCC-CB": SCCCB,
+        "SCC-VW": lambda: SCCVW(period=0.01),
+    }
+    return {
+        name: run_once(factory, CONFIG, arrival_rate=RATE)
+        for name, factory in factories.items()
+    }
+
+
+def test_all_protocols_commit_everything(summaries):
+    for name, summary in summaries.items():
+        assert summary.committed == 450, name
+
+
+def test_scc_beats_occ_bc_on_missed_ratio(summaries):
+    assert summaries["SCC-2S"].missed_ratio < summaries["OCC-BC"].missed_ratio
+
+
+def test_occ_bc_beats_basic_occ(summaries):
+    assert summaries["OCC-BC"].missed_ratio <= summaries["OCC"].missed_ratio
+
+
+def test_scc_never_restarts_more_than_occ(summaries):
+    assert summaries["SCC-2S"].restarts <= summaries["OCC-BC"].restarts
+
+
+def test_scc_uses_redundancy(summaries):
+    # Speculation consumes redundant resources: SCC aborts shadows even
+    # though it rarely restarts transactions (the paper's trade).
+    assert summaries["SCC-2S"].shadow_aborts > summaries["SCC-2S"].restarts
+    assert summaries["SCC-2S"].wasted_work > 0
+
+
+def test_unlimited_budget_no_worse_than_two_shadows(summaries):
+    assert (
+        summaries["SCC-CB"].missed_ratio
+        <= summaries["SCC-2S"].missed_ratio + 1.0
+    )
+
+
+def test_vw_system_value_at_least_scc2s(summaries):
+    # Figure 14(a): SCC-VW provides a (minor) improvement in System Value.
+    assert (
+        summaries["SCC-VW"].system_value
+        >= summaries["SCC-2S"].system_value - 0.5
+    )
+
+
+def test_two_class_workload_end_to_end():
+    config = two_class_config(
+        num_transactions=400, warmup_commits=40, replications=1
+    )
+    summary = run_once(lambda: SCCVW(period=0.01), config, arrival_rate=100.0)
+    assert summary.committed == 360
+    assert set(summary.per_class_missed) == {"critical-long", "routine-short"}
+
+
+def test_k_sweep_monotone_missed_ratio():
+    # A1's claim at one operating point: more shadows, fewer misses
+    # (allowing small noise at equal k).
+    missed = {}
+    for k in (1, 3):
+        summary = run_once(
+            (lambda kk: lambda: SCCkS(k=kk))(k), CONFIG, arrival_rate=RATE
+        )
+        missed[k] = summary.missed_ratio
+    assert missed[3] <= missed[1] + 0.5
+
+
+def test_low_load_all_protocols_near_zero_missed():
+    for factory in (SCC2S, OCCBroadcastCommit, TwoPhaseLockingPA):
+        summary = run_once(factory, CONFIG, arrival_rate=15.0)
+        assert summary.missed_ratio <= 2.0

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are executed in-process via ``runpy`` with reduced workload sizes
+so the whole suite stays fast; their printed output is sanity-checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", [], capsys)
+    assert "missed ratio" in out
+    assert "history serializable   : True" in out
+
+
+def test_shadow_anatomy(capsys):
+    out = run_example("shadow_anatomy.py", [], capsys)
+    assert "fork" in out
+    assert "promote" in out
+    assert "saved" in out
+
+
+def test_protocol_shootout(capsys):
+    out = run_example("protocol_shootout.py", ["--transactions", "150"], capsys)
+    assert "SCC-2S" in out
+    assert "2PL-PA" in out
+    assert "arrival rate 160" in out
+
+
+def test_telecom_billing(capsys):
+    out = run_example("telecom_billing.py", ["--transactions", "300"], capsys)
+    assert "fraud-check" in out
+    assert "System Value" in out or "system value" in out

@@ -1,0 +1,66 @@
+"""Unit tests for confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.confidence import mean_confidence_interval
+
+
+def test_single_sample_degenerate():
+    ci = mean_confidence_interval([5.0])
+    assert ci.mean == 5.0
+    assert ci.half_width == 0.0
+    assert ci.n == 1
+
+
+def test_constant_samples_zero_width():
+    ci = mean_confidence_interval([3.0, 3.0, 3.0])
+    assert ci.mean == 3.0
+    assert ci.half_width == 0.0
+
+
+def test_interval_contains_mean_and_bounds():
+    ci = mean_confidence_interval([1.0, 2.0, 3.0], level=0.90)
+    assert ci.mean == pytest.approx(2.0)
+    assert ci.low < 2.0 < ci.high
+    assert ci.contains(2.0)
+    assert not ci.contains(ci.high + 0.001)
+
+
+def test_known_t_value():
+    # n=3, 90% -> t(0.95, df=2) = 2.9200; s = 1.0; sem = 1/sqrt(3).
+    ci = mean_confidence_interval([1.0, 2.0, 3.0], level=0.90)
+    expected = 2.9200 * (1.0 / np.sqrt(3.0))
+    assert ci.half_width == pytest.approx(expected, rel=1e-3)
+
+
+def test_higher_level_wider_interval():
+    samples = [1.0, 2.0, 4.0, 8.0]
+    narrow = mean_confidence_interval(samples, level=0.80)
+    wide = mean_confidence_interval(samples, level=0.99)
+    assert wide.half_width > narrow.half_width
+
+
+def test_coverage_monte_carlo():
+    rng = np.random.default_rng(42)
+    covered = 0
+    trials = 400
+    for _ in range(trials):
+        samples = rng.normal(10.0, 2.0, size=8)
+        if mean_confidence_interval(list(samples), level=0.90).contains(10.0):
+            covered += 1
+    assert covered / trials == pytest.approx(0.90, abs=0.05)
+
+
+def test_str_rendering():
+    text = str(mean_confidence_interval([1.0, 2.0], level=0.90))
+    assert "±" in text
+    assert "n=2" in text
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        mean_confidence_interval([])
+    with pytest.raises(ConfigurationError):
+        mean_confidence_interval([1.0], level=1.5)

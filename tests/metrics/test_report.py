@@ -1,0 +1,54 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.report import format_series_table, format_table
+
+
+def test_format_table_basic():
+    text = format_table(["name", "x"], [["a", 1.5], ["bb", 2.0]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert "1.500" in text
+    assert "bb" in text
+
+
+def test_format_table_column_alignment():
+    text = format_table(["col"], [["x"], ["longer"]])
+    lines = text.splitlines()
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines padded to the same width
+
+
+def test_format_table_empty_rows_ok():
+    text = format_table(["a", "b"], [])
+    assert "a" in text
+
+
+def test_format_table_row_width_mismatch():
+    with pytest.raises(ConfigurationError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_table_no_headers_rejected():
+    with pytest.raises(ConfigurationError):
+        format_table([], [])
+
+
+def test_series_table_shapes():
+    text = format_series_table(
+        "rate",
+        [10, 20],
+        {"SCC-2S": [1.0, 2.0], "OCC-BC": [3.0, 4.0]},
+        title="fig",
+    )
+    assert "SCC-2S" in text
+    assert "OCC-BC" in text
+    assert "4.000" in text
+
+
+def test_series_table_length_mismatch():
+    with pytest.raises(ConfigurationError):
+        format_series_table("rate", [10, 20], {"p": [1.0]})

@@ -1,0 +1,111 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.metrics.stats import MetricsCollector
+from repro.txn.spec import TransactionSpec
+from tests.conftest import R, make_class
+
+
+def spec(txn_id, arrival=0.0, deadline=10.0, value=1.0, alpha=45.0, name="c"):
+    cls = make_class(num_steps=1, value=value, alpha_degrees=alpha, name=name)
+    return TransactionSpec.build(
+        txn_id=txn_id,
+        arrival=arrival,
+        steps=[R(0)],
+        txn_class=cls,
+        step_duration=1.0,
+        deadline=deadline,
+    )
+
+
+def test_missed_ratio_and_tardiness():
+    metrics = MetricsCollector()
+    metrics.record_commit(spec(1, deadline=10.0), commit_time=5.0, work=1.0)
+    metrics.record_commit(spec(2, deadline=10.0), commit_time=12.0, work=1.0)
+    metrics.record_commit(spec(3, deadline=10.0), commit_time=14.0, work=1.0)
+    metrics.record_commit(spec(4, deadline=10.0), commit_time=9.0, work=1.0)
+    summary = metrics.summary()
+    assert summary.committed == 4
+    assert summary.missed_ratio == pytest.approx(50.0)
+    assert summary.avg_tardiness_late == pytest.approx((2.0 + 4.0) / 2)
+    assert summary.avg_tardiness_all == pytest.approx((2.0 + 4.0) / 4)
+
+
+def test_system_value_percent():
+    metrics = MetricsCollector()
+    # On time: full value 1.0.  One unit late at 45 degrees: value 0.0.
+    metrics.record_commit(spec(1, deadline=10.0, value=1.0), 10.0, work=1.0)
+    metrics.record_commit(spec(2, deadline=10.0, value=1.0), 11.0, work=1.0)
+    summary = metrics.summary()
+    assert summary.system_value == pytest.approx(50.0)
+
+
+def test_system_value_can_go_negative():
+    metrics = MetricsCollector()
+    metrics.record_commit(spec(1, deadline=10.0, value=1.0), 13.0, work=1.0)
+    summary = metrics.summary()
+    assert summary.system_value == pytest.approx(-200.0)
+
+
+def test_warmup_commits_excluded_from_stats():
+    metrics = MetricsCollector(warmup_commits=2)
+    metrics.record_commit(spec(1), 20.0, work=1.0)  # late, but warmup
+    metrics.record_commit(spec(2), 20.0, work=1.0)  # late, but warmup
+    metrics.record_commit(spec(3), 5.0, work=1.0)
+    summary = metrics.summary()
+    assert summary.committed == 1
+    assert summary.missed_ratio == 0.0
+    assert metrics.total_committed == 3
+
+
+def test_restart_and_abort_accounting():
+    metrics = MetricsCollector()
+    s = spec(1)
+    metrics.record_restart(s)
+    metrics.record_restart(s)
+    metrics.record_shadow_abort(work=2.5)
+    metrics.record_commit(s, 5.0, work=1.0)
+    summary = metrics.summary()
+    assert summary.restarts == 2
+    assert summary.shadow_aborts == 1
+    assert summary.wasted_work == pytest.approx(2.5)
+    assert summary.useful_work == pytest.approx(1.0)
+    assert summary.wasted_fraction == pytest.approx(2.5 / 3.5)
+    assert metrics.records[0].restarts == 2
+
+
+def test_per_class_breakdowns():
+    metrics = MetricsCollector()
+    metrics.record_commit(spec(1, name="gold", value=2.0), 5.0, work=1.0)
+    metrics.record_commit(spec(2, name="iron", value=1.0), 12.0, work=1.0)
+    summary = metrics.summary()
+    assert summary.per_class_missed["gold"] == 0.0
+    assert summary.per_class_missed["iron"] == 100.0
+    assert summary.per_class_value["gold"] == pytest.approx(100.0)
+
+
+def test_response_time():
+    metrics = MetricsCollector()
+    metrics.record_commit(spec(1, arrival=0.0), 5.0, work=1.0)
+    metrics.record_commit(spec(2, arrival=0.0), 7.0, work=1.0)
+    assert metrics.summary().avg_response_time == pytest.approx(6.0)
+
+
+def test_commit_before_arrival_rejected():
+    metrics = MetricsCollector()
+    with pytest.raises(ProtocolError):
+        metrics.record_commit(spec(1, arrival=5.0, deadline=10.0), 4.0, work=1.0)
+
+
+def test_empty_summary_rejected():
+    with pytest.raises(ProtocolError):
+        MetricsCollector().summary()
+
+
+def test_deferred_commit_counter():
+    metrics = MetricsCollector()
+    metrics.record_deferred_commit()
+    metrics.record_commit(spec(1), 1.0, work=1.0)
+    assert metrics.summary().deferred_commits == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the lock table."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols.locks import LockMode, LockRequest, LockTable, compatible
+
+
+def test_compatibility_matrix():
+    assert compatible(LockMode.READ, LockMode.READ)
+    assert not compatible(LockMode.READ, LockMode.WRITE)
+    assert not compatible(LockMode.WRITE, LockMode.READ)
+    assert not compatible(LockMode.WRITE, LockMode.WRITE)
+
+
+def test_grant_and_query():
+    table = LockTable()
+    table.grant(1, 10, LockMode.READ)
+    assert table.mode_held(1, 10) is LockMode.READ
+    assert table.mode_held(2, 10) is None
+    assert table.holders(10) == {1: LockMode.READ}
+    assert table.pages_held(1) == {10}
+
+
+def test_upgrade_keeps_strongest_mode():
+    table = LockTable()
+    table.grant(1, 10, LockMode.READ)
+    table.grant(1, 10, LockMode.WRITE)
+    assert table.mode_held(1, 10) is LockMode.WRITE
+    table.grant(1, 10, LockMode.READ)  # downgrade attempt ignored
+    assert table.mode_held(1, 10) is LockMode.WRITE
+
+
+def test_conflicting_holders():
+    table = LockTable()
+    table.grant(1, 10, LockMode.READ)
+    table.grant(2, 10, LockMode.READ)
+    assert table.conflicting_holders(3, 10, LockMode.READ) == []
+    assert sorted(table.conflicting_holders(3, 10, LockMode.WRITE)) == [1, 2]
+    # The requester itself is never in conflict.
+    assert table.conflicting_holders(1, 10, LockMode.WRITE) == [2]
+
+
+def test_waiters_sorted_by_key():
+    table = LockTable()
+    table.enqueue(5, LockRequest(txn_id=1, mode=LockMode.WRITE, key=(2.0, 1)))
+    table.enqueue(5, LockRequest(txn_id=2, mode=LockMode.READ, key=(1.0, 2)))
+    waiters = table.waiters(5)
+    assert [w.txn_id for w in waiters] == [2, 1]
+
+
+def test_cancel_requests_marks_dead():
+    table = LockTable()
+    request = LockRequest(txn_id=1, mode=LockMode.READ, key=(1.0, 1))
+    table.enqueue(5, request)
+    table.cancel_requests(1)
+    assert not request.alive
+    assert table.waiters(5) == []
+
+
+def test_release_all_returns_pages():
+    table = LockTable()
+    table.grant(1, 10, LockMode.READ)
+    table.grant(1, 11, LockMode.WRITE)
+    table.grant(2, 10, LockMode.READ)
+    freed = table.release_all(1)
+    assert freed == [10, 11]
+    assert table.mode_held(1, 10) is None
+    assert table.mode_held(2, 10) is LockMode.READ
+    assert table.pages_held(1) == set()
+
+
+def test_release_all_unknown_txn_is_noop():
+    table = LockTable()
+    assert table.release_all(99) == []
+
+
+def test_release_desync_detected():
+    table = LockTable()
+    table.grant(1, 10, LockMode.READ)
+    # Corrupt the entry to simulate bookkeeping desync.
+    table._entries[10].holders.clear()
+    with pytest.raises(ProtocolError):
+        table.release_all(1)
+
+
+def test_compact_removes_dead_entries():
+    table = LockTable()
+    request = LockRequest(txn_id=1, mode=LockMode.READ, key=(1.0, 1))
+    table.enqueue(5, request)
+    request.alive = False
+    table.compact(5)
+    assert table.waiters(5) == []

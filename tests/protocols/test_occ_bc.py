@@ -1,0 +1,77 @@
+"""Scenario tests for OCC Broadcast Commit (paper Figure 1(b))."""
+
+import pytest
+
+from repro.analysis.serializability import check_serializable
+from repro.protocols.occ_bc import OCCBroadcastCommit
+from tests.conftest import R, W, commit_time_of, run_scenario
+
+
+def test_broadcast_restarts_reader_immediately():
+    # Same setup as the basic-OCC figure-1 test: the stale reader is
+    # restarted at the writer's commit (t=2), not at its own validation.
+    # Restarted T1 runs 3 steps from t=2 -> commits at 5 (vs 6 for OCC).
+    system = run_scenario(
+        OCCBroadcastCommit(),
+        programs=[[R(1), W(0)], [R(0), R(2), R(3)]],
+    )
+    assert commit_time_of(system, 0) == pytest.approx(2.0)
+    assert commit_time_of(system, 1) == pytest.approx(5.0)
+    assert system.metrics.restarts == 1
+
+
+def test_early_restart_beats_basic_occ():
+    from repro.protocols.occ import BasicOCC
+
+    programs = [[R(1), W(0)], [R(0), R(2), R(3)]]
+    occ = run_scenario(BasicOCC(), programs=[list(p) for p in programs])
+    bc = run_scenario(OCCBroadcastCommit(), programs=[list(p) for p in programs])
+    assert commit_time_of(bc, 1) < commit_time_of(occ, 1)
+
+
+def test_unexposed_transactions_unaffected():
+    system = run_scenario(
+        OCCBroadcastCommit(),
+        programs=[[W(0)], [R(1), R(2)]],
+    )
+    assert commit_time_of(system, 1) == pytest.approx(2.0)
+    assert system.metrics.restarts == 0
+
+
+def test_commit_order_first_finisher_wins():
+    # The shorter transaction validates first and aborts the longer one.
+    system = run_scenario(
+        OCCBroadcastCommit(),
+        programs=[[R(0), W(1)], [R(1), R(2), R(3)]],
+    )
+    assert commit_time_of(system, 0) == pytest.approx(2.0)
+    # T1 read page 1 at t=1 (version 0) -> restarted at t=2 -> commits 5.
+    assert commit_time_of(system, 1) == pytest.approx(5.0)
+
+
+def test_broadcast_hits_multiple_readers():
+    # T0 commits at t=2; T1 and T2 read page 0 at t=1 (version 0) and are
+    # both restarted by the broadcast; T3 is untouched.
+    system = run_scenario(
+        OCCBroadcastCommit(),
+        programs=[[R(5), W(0)], [R(0), R(1)], [R(0), R(2)], [R(3), R(4)]],
+    )
+    assert system.metrics.restarts == 2  # T1 and T2, not T3
+    assert commit_time_of(system, 1) == pytest.approx(4.0)
+    assert commit_time_of(system, 2) == pytest.approx(4.0)
+    assert commit_time_of(system, 3) == pytest.approx(2.0)
+    assert check_serializable(system.history)
+
+
+def test_no_stale_read_ever_committed():
+    programs = [[W(i % 3), R((i + 1) % 3)] for i in range(12)]
+    system = run_scenario(
+        OCCBroadcastCommit(),
+        programs=programs,
+        arrivals=[0.25 * i for i in range(12)],
+        num_pages=3,
+    )
+    # system.commit raises InvariantViolation on stale reads; reaching here
+    # with a serializable history is the assertion.
+    assert check_serializable(system.history)
+    assert len(system.history) == 12

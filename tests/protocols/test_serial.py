@@ -1,0 +1,39 @@
+"""Tests for the serial-execution oracle."""
+
+import pytest
+
+from repro.analysis.serializability import check_serializable, serialization_order
+from repro.protocols.serial import SerialExecution
+from tests.conftest import R, W, commit_order, commit_time_of, run_scenario
+
+
+def test_runs_one_at_a_time_fcfs():
+    system = run_scenario(
+        SerialExecution(),
+        programs=[[R(0), W(1)], [R(1), W(2)], [R(2)]],
+        arrivals=[0.0, 0.0, 0.0],
+    )
+    assert commit_order(system) == [0, 1, 2]
+    assert commit_time_of(system, 0) == pytest.approx(2.0)
+    assert commit_time_of(system, 1) == pytest.approx(4.0)
+    assert commit_time_of(system, 2) == pytest.approx(5.0)
+
+
+def test_idle_system_starts_arrival_immediately():
+    system = run_scenario(
+        SerialExecution(),
+        programs=[[R(0)], [R(1)]],
+        arrivals=[0.0, 10.0],
+    )
+    assert commit_time_of(system, 1) == pytest.approx(11.0)
+
+
+def test_history_is_serial():
+    system = run_scenario(
+        SerialExecution(),
+        programs=[[W(0)], [R(0), W(0)], [R(0)]],
+        arrivals=[0.0, 0.0, 0.0],
+    )
+    assert check_serializable(system.history)
+    assert serialization_order(system.history) == [0, 1, 2]
+    assert system.metrics.restarts == 0

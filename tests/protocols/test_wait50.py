@@ -1,0 +1,102 @@
+"""Scenario tests for WAIT-50 (Haritsa's dynamic wait control)."""
+
+import pytest
+
+from repro.analysis.serializability import check_serializable
+from repro.protocols.wait50 import Wait50
+from tests.conftest import R, W, commit_time_of, run_scenario
+
+
+def test_no_conflict_commits_immediately():
+    system = run_scenario(
+        Wait50(),
+        programs=[[R(0), W(1)], [R(2)]],
+    )
+    assert commit_time_of(system, 0) == pytest.approx(2.0)
+    assert commit_time_of(system, 1) == pytest.approx(1.0)
+
+
+def test_waits_for_higher_priority_conflicting_reader():
+    # T0 (late deadline) finishes first at t=2 having written page 0;
+    # T1 (urgent, deadline 4) read page 0 and still runs.  CS={T1},
+    # HP={T1} -> 100% >= 50% -> T0 waits.  T1 finishes at 3 and commits;
+    # T0 then commits (its write no longer endangers anyone).
+    system = run_scenario(
+        Wait50(),
+        programs=[[R(1), W(0)], [R(0), R(2), R(3)]],
+        deadlines=[50.0, 4.0],
+    )
+    assert commit_time_of(system, 1) == pytest.approx(3.0)
+    assert commit_time_of(system, 0) == pytest.approx(3.0)
+    # Nobody restarted: the whole point of waiting.
+    assert system.metrics.restarts == 0
+    assert system.metrics.summary().deferred_commits == 1
+    assert check_serializable(system.history)
+
+
+def test_commits_over_lower_priority_conflicting_reader():
+    # Same shape but T1 has the *later* deadline: HP empty -> commit at
+    # once, T1 restarts (OCC-BC behaviour).
+    system = run_scenario(
+        Wait50(),
+        programs=[[R(1), W(0)], [R(0), R(2), R(3)]],
+        deadlines=[4.0, 50.0],
+    )
+    assert commit_time_of(system, 0) == pytest.approx(2.0)
+    assert commit_time_of(system, 1) == pytest.approx(5.0)
+    assert system.metrics.restarts == 1
+
+
+def test_fifty_percent_threshold_exact():
+    # Two conflicting readers, one urgent and one relaxed: HP = 1 of 2 =
+    # exactly 50% -> wait (the rule is >= 50%).
+    system = run_scenario(
+        Wait50(),
+        programs=[
+            [R(3), W(0)],
+            [R(0), R(4), R(5)],  # urgent reader
+            [R(0), R(6), R(7)],  # relaxed reader
+        ],
+        deadlines=[10.0, 4.0, 50.0],
+    )
+    # T0 defers until T1 commits at 3; then CS={T2}, HP={} -> commit, T2
+    # restarts.
+    assert commit_time_of(system, 1) == pytest.approx(3.0)
+    assert commit_time_of(system, 0) == pytest.approx(3.0)
+    assert system.metrics.restarts == 1
+
+
+def test_waiter_can_be_restarted_by_other_commit():
+    # T0 finishes and waits (conflicting urgent reader T1).  T2 commits a
+    # write T0 read -> T0 must restart despite being finished.
+    system = run_scenario(
+        Wait50(),
+        programs=[
+            [R(5), W(0)],
+            [R(0), R(6), R(7), R(8)],
+            [R(9), R(9), W(5)],
+        ],
+        deadlines=[50.0, 4.5, 10.0],
+    )
+    assert system.metrics.restarts >= 1
+    assert check_serializable(system.history)
+    assert len(system.history) == 3
+
+
+def test_threshold_parameter_validated():
+    with pytest.raises(ValueError):
+        Wait50(wait_threshold=0.0)
+    with pytest.raises(ValueError):
+        Wait50(wait_threshold=1.5)
+
+
+def test_drain_with_mutual_waiters():
+    # Two finished transactions whose conflict sets point at each other
+    # must not deadlock: finished waiters leave the "running" conflict set.
+    system = run_scenario(
+        Wait50(),
+        programs=[[R(1), W(0)], [R(0), W(2), R(3)]],
+        deadlines=[50.0, 4.0],
+    )
+    assert len(system.history) == 2
+    assert check_serializable(system.history)

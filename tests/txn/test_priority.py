@@ -1,0 +1,82 @@
+"""Unit tests for priority policies."""
+
+from repro.txn.priority import (
+    ArrivalOrderPolicy,
+    EarliestDeadlineFirst,
+    HighestValueFirst,
+    ValueDensityPolicy,
+)
+from repro.txn.spec import TransactionSpec
+from tests.conftest import R, make_class
+
+
+def spec(txn_id, arrival=0.0, deadline=10.0, value=1.0, steps=1):
+    cls = make_class(num_steps=steps, value=value)
+    return TransactionSpec.build(
+        txn_id=txn_id,
+        arrival=arrival,
+        steps=[R(i) for i in range(steps)],
+        txn_class=cls,
+        step_duration=1.0,
+        deadline=deadline,
+    )
+
+
+def test_edf_orders_by_deadline():
+    policy = EarliestDeadlineFirst()
+    urgent = spec(1, deadline=5.0)
+    relaxed = spec(2, deadline=9.0)
+    assert policy.higher_priority(urgent, relaxed, now=0.0)
+    assert not policy.higher_priority(relaxed, urgent, now=0.0)
+
+
+def test_edf_tie_broken_by_id():
+    policy = EarliestDeadlineFirst()
+    a = spec(1, deadline=5.0)
+    b = spec(2, deadline=5.0)
+    assert policy.higher_priority(a, b, now=0.0)
+
+
+def test_edf_demotes_tardy():
+    policy = EarliestDeadlineFirst(demote_tardy=True)
+    tardy = spec(1, deadline=5.0)
+    feasible = spec(2, deadline=9.0)
+    assert policy.higher_priority(tardy, feasible, now=0.0)
+    assert policy.higher_priority(feasible, tardy, now=6.0)
+
+
+def test_edf_static_variant_keeps_order():
+    policy = EarliestDeadlineFirst(demote_tardy=False)
+    tardy = spec(1, deadline=5.0)
+    feasible = spec(2, deadline=9.0)
+    assert policy.higher_priority(tardy, feasible, now=6.0)
+
+
+def test_fcfs_orders_by_arrival():
+    policy = ArrivalOrderPolicy()
+    early = spec(2, arrival=0.0, deadline=100.0)
+    late = spec(1, arrival=1.0, deadline=2.0)
+    assert policy.higher_priority(early, late, now=0.0)
+
+
+def test_highest_value_first():
+    policy = HighestValueFirst()
+    cheap = spec(1, value=1.0)
+    precious = spec(2, value=10.0)
+    assert policy.higher_priority(precious, cheap, now=0.0)
+
+
+def test_value_decay_flips_value_priority():
+    policy = HighestValueFirst()
+    # High value but 45-degree decay after t=5 vs steady low value.
+    decaying = spec(1, value=10.0, deadline=5.0)
+    steady = spec(2, value=8.0, deadline=100.0)
+    assert policy.higher_priority(decaying, steady, now=0.0)
+    assert policy.higher_priority(steady, decaying, now=8.0)
+
+
+def test_value_density_prefers_short_high_value():
+    policy = ValueDensityPolicy()
+    dense = spec(1, value=5.0, steps=1)
+    sparse = spec(2, value=5.0, steps=10)
+    assert policy.higher_priority(dense, sparse, now=0.0)

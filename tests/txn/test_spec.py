@@ -1,0 +1,80 @@
+"""Unit tests for transaction specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.txn.spec import Step, TransactionSpec
+from tests.conftest import R, W, make_class
+
+
+def build(steps, arrival=0.0, deadline=None, step_duration=1.0, txn_id=0):
+    return TransactionSpec.build(
+        txn_id=txn_id,
+        arrival=arrival,
+        steps=steps,
+        txn_class=make_class(num_steps=len(steps)),
+        step_duration=step_duration,
+        deadline=deadline,
+    )
+
+
+def test_deadline_from_slack_factor():
+    spec = build([R(0), R(1), W(2)], arrival=10.0)
+    # slack factor 2, 3 steps of 1s each -> deadline = 10 + 2*3.
+    assert spec.deadline == pytest.approx(16.0)
+    assert spec.estimated_duration == pytest.approx(3.0)
+
+
+def test_explicit_deadline_wins():
+    spec = build([R(0)], deadline=99.0)
+    assert spec.deadline == 99.0
+    assert spec.value_function.deadline == 99.0
+
+
+def test_read_and_write_pages():
+    spec = build([R(0), W(1), R(2), W(3)])
+    assert spec.read_pages == {0, 1, 2, 3}
+    assert spec.write_pages == {1, 3}
+
+
+def test_first_read_position():
+    spec = build([R(5), W(7), R(9)])
+    assert spec.first_read_position(5) == 0
+    assert spec.first_read_position(7) == 1
+    assert spec.first_read_position(9) == 2
+    assert spec.first_read_position(11) is None
+
+
+def test_identity_is_by_txn_id():
+    a = build([R(0)], txn_id=3)
+    b = build([R(1), W(2)], txn_id=3)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != object()
+
+
+def test_iteration_and_length():
+    steps = [R(0), W(1)]
+    spec = build(steps)
+    assert len(spec) == 2
+    assert list(spec) == steps
+
+
+def test_slack():
+    spec = build([R(0)], arrival=1.0, deadline=4.0)
+    assert spec.slack() == pytest.approx(3.0)
+
+
+def test_step_repr():
+    assert repr(Step(3, True)) == "W(3)"
+    assert repr(Step(3, False)) == "R(3)"
+
+
+def test_empty_steps_rejected():
+    with pytest.raises(ConfigurationError):
+        build([])
+
+
+def test_deadline_before_arrival_rejected():
+    with pytest.raises(ConfigurationError):
+        build([R(0)], arrival=5.0, deadline=4.0)

@@ -1,0 +1,87 @@
+"""Unit tests for value functions (paper Definitions 1-2)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.values.value_function import ValueFunction
+
+
+def test_full_value_up_to_deadline():
+    vf = ValueFunction(value=10.0, deadline=5.0, penalty_gradient=2.0)
+    assert vf(0.0) == 10.0
+    assert vf(5.0) == 10.0
+
+
+def test_linear_decay_past_deadline():
+    vf = ValueFunction(value=10.0, deadline=5.0, penalty_gradient=2.0)
+    assert vf(6.0) == pytest.approx(8.0)
+    assert vf(10.0) == pytest.approx(0.0)
+    assert vf(11.0) == pytest.approx(-2.0)
+
+
+def test_zero_gradient_never_decays():
+    vf = ValueFunction(value=3.0, deadline=1.0, penalty_gradient=0.0)
+    assert vf(100.0) == 3.0
+    assert vf.breakeven_time() == math.inf
+
+
+def test_infinite_gradient_is_fully_critical():
+    vf = ValueFunction(value=3.0, deadline=1.0, penalty_gradient=math.inf)
+    assert vf(1.0) == 3.0
+    assert vf(1.0001) == -math.inf
+    assert vf.breakeven_time() == 1.0
+
+
+def test_from_angle_45_degrees_gradient_one():
+    vf = ValueFunction.from_angle(value=1.0, deadline=2.0, alpha_degrees=45.0)
+    assert vf.penalty_gradient == pytest.approx(1.0)
+    assert vf(3.0) == pytest.approx(0.0)
+
+
+def test_from_angle_90_degrees_infinite():
+    vf = ValueFunction.from_angle(value=1.0, deadline=2.0, alpha_degrees=90.0)
+    assert math.isinf(vf.penalty_gradient)
+
+
+def test_from_angle_zero_degrees_flat():
+    vf = ValueFunction.from_angle(value=1.0, deadline=2.0, alpha_degrees=0.0)
+    assert vf.penalty_gradient == 0.0
+
+
+def test_from_angle_out_of_range_rejected():
+    with pytest.raises(ConfigurationError):
+        ValueFunction.from_angle(1.0, 2.0, alpha_degrees=91.0)
+    with pytest.raises(ConfigurationError):
+        ValueFunction.from_angle(1.0, 2.0, alpha_degrees=-1.0)
+
+
+def test_tardiness_and_lateness():
+    vf = ValueFunction(value=1.0, deadline=5.0, penalty_gradient=1.0)
+    assert vf.tardiness(4.0) == 0.0
+    assert vf.tardiness(5.0) == 0.0
+    assert vf.tardiness(7.5) == 2.5
+    assert not vf.is_late(5.0)
+    assert vf.is_late(5.1)
+
+
+def test_breakeven_time_linear():
+    vf = ValueFunction(value=10.0, deadline=5.0, penalty_gradient=2.0)
+    assert vf.breakeven_time() == pytest.approx(10.0)
+    assert vf(vf.breakeven_time()) == pytest.approx(0.0)
+
+
+def test_evaluation_before_arrival_rejected():
+    vf = ValueFunction(value=1.0, deadline=5.0, penalty_gradient=1.0, arrival=2.0)
+    with pytest.raises(ConfigurationError):
+        vf(1.0)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        ValueFunction(value=-1.0, deadline=5.0, penalty_gradient=1.0)
+    with pytest.raises(ConfigurationError):
+        ValueFunction(value=1.0, deadline=5.0, penalty_gradient=-1.0)
+    with pytest.raises(ConfigurationError):
+        ValueFunction(value=1.0, deadline=1.0, penalty_gradient=1.0, arrival=2.0)
