@@ -10,10 +10,11 @@ from repro.experiments.figures import run_ablation_k
 from repro.metrics.report import format_table
 
 
-def test_ablation_k_timeliness_vs_redundancy(benchmark, bench_config):
+def test_ablation_k_timeliness_vs_redundancy(benchmark, bench_config, bench_executor):
     ks = (1, 2, 3, None)
     results = benchmark.pedantic(
-        lambda: run_ablation_k(bench_config, ks=ks), rounds=1, iterations=1
+        lambda: run_ablation_k(bench_config, ks=ks, executor=bench_executor),
+        rounds=1, iterations=1
     )
     high = len(bench_config.arrival_rates) - 1
     rows = []

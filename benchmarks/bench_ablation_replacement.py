@@ -10,9 +10,9 @@ from repro.experiments.figures import run_ablation_replacement
 from repro.metrics.report import format_series_table
 
 
-def test_ablation_replacement_policies(benchmark, bench_config):
+def test_ablation_replacement_policies(benchmark, bench_config, bench_executor):
     results = benchmark.pedantic(
-        lambda: run_ablation_replacement(bench_config, k=3),
+        lambda: run_ablation_replacement(bench_config, k=3, executor=bench_executor),
         rounds=1,
         iterations=1,
     )

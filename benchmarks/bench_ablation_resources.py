@@ -10,11 +10,12 @@ from repro.experiments.figures import run_ablation_resources
 from repro.metrics.report import format_table
 
 
-def test_ablation_resource_contention(benchmark, bench_config):
+def test_ablation_resource_contention(benchmark, bench_config, bench_executor):
     config = bench_config.scaled(num_transactions=300, warmup_commits=30)
     results = benchmark.pedantic(
         lambda: run_ablation_resources(
-            config, arrival_rate=70.0, server_counts=(4, 32, None)
+            config, arrival_rate=70.0, server_counts=(4, 32, None),
+            executor=bench_executor,
         ),
         rounds=1,
         iterations=1,

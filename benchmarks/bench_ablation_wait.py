@@ -10,10 +10,10 @@ from repro.experiments.figures import run_ablation_wait_threshold
 from repro.metrics.report import format_series_table
 
 
-def test_ablation_wait_threshold(benchmark, bench_config):
+def test_ablation_wait_threshold(benchmark, bench_config, bench_executor):
     results = benchmark.pedantic(
         lambda: run_ablation_wait_threshold(
-            bench_config, thresholds=(0.25, 0.5, 1.0)
+            bench_config, thresholds=(0.25, 0.5, 1.0), executor=bench_executor
         ),
         rounds=1,
         iterations=1,

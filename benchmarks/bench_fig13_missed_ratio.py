@@ -9,9 +9,10 @@ from repro.experiments.figures import run_fig13
 from repro.metrics.report import format_series_table
 
 
-def test_fig13a_missed_ratio(benchmark, bench_config):
+def test_fig13a_missed_ratio(benchmark, bench_config, bench_executor):
     results = benchmark.pedantic(
-        lambda: run_fig13(bench_config), rounds=1, iterations=1
+        lambda: run_fig13(bench_config, executor=bench_executor),
+        rounds=1, iterations=1
     )
     rates = bench_config.arrival_rates
     series = {name: sweep.missed_ratio() for name, sweep in results.items()}

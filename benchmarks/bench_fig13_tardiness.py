@@ -8,9 +8,10 @@ from repro.experiments.figures import run_fig13
 from repro.metrics.report import format_series_table
 
 
-def test_fig13b_average_tardiness(benchmark, bench_config):
+def test_fig13b_average_tardiness(benchmark, bench_config, bench_executor):
     results = benchmark.pedantic(
-        lambda: run_fig13(bench_config), rounds=1, iterations=1
+        lambda: run_fig13(bench_config, executor=bench_executor),
+        rounds=1, iterations=1
     )
     rates = bench_config.arrival_rates
     series = {name: sweep.avg_tardiness() for name, sweep in results.items()}

@@ -10,9 +10,10 @@ from repro.experiments.figures import run_fig14a, run_fig14b
 from repro.metrics.report import format_series_table
 
 
-def test_fig14a_system_value_one_class(benchmark, bench_config):
+def test_fig14a_system_value_one_class(benchmark, bench_config, bench_executor):
     results = benchmark.pedantic(
-        lambda: run_fig14a(bench_config), rounds=1, iterations=1
+        lambda: run_fig14a(bench_config, executor=bench_executor),
+        rounds=1, iterations=1
     )
     rates = bench_config.arrival_rates
     series = {name: sweep.system_value() for name, sweep in results.items()}
@@ -33,9 +34,12 @@ def test_fig14a_system_value_one_class(benchmark, bench_config):
     assert series["SCC-VW"][high] >= series["SCC-2S"][high] - 1.0
 
 
-def test_fig14b_system_value_two_classes(benchmark, bench_two_class_config):
+def test_fig14b_system_value_two_classes(
+    benchmark, bench_two_class_config, bench_executor
+):
     results = benchmark.pedantic(
-        lambda: run_fig14b(bench_two_class_config), rounds=1, iterations=1
+        lambda: run_fig14b(bench_two_class_config, executor=bench_executor),
+        rounds=1, iterations=1
     )
     rates = bench_two_class_config.arrival_rates
     series = {name: sweep.system_value() for name, sweep in results.items()}

@@ -9,9 +9,10 @@ from repro.experiments.figures import run_fig15
 from repro.metrics.report import format_series_table
 
 
-def test_fig15_vw_missed_and_tardiness(benchmark, bench_config):
+def test_fig15_vw_missed_and_tardiness(benchmark, bench_config, bench_executor):
     results = benchmark.pedantic(
-        lambda: run_fig15(bench_config), rounds=1, iterations=1
+        lambda: run_fig15(bench_config, executor=bench_executor),
+        rounds=1, iterations=1
     )
     rates = list(bench_config.arrival_rates)
     missed = {name: sweep.missed_ratio() for name, sweep in results.items()}

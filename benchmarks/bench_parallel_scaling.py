@@ -1,0 +1,75 @@
+"""Serial vs parallel sweep execution: determinism and scaling.
+
+Two properties of the ``repro.experiments.parallel`` subsystem are gated
+here:
+
+1. **Determinism** — the process-pool executor must produce summaries
+   *bit-identical* to the serial path (workload streams depend only on
+   ``(seed, replication)``, so cell placement cannot leak into results).
+   This is asserted unconditionally, on every machine.
+2. **Scaling** — on a host with >= 4 cores, fanning the grid out over 4
+   workers must cut wall-clock by at least 2x (tunable via
+   ``REPRO_BENCH_MIN_SPEEDUP``; ``0`` disables the assert for noisy
+   shared runners).  On smaller hosts (1-2 core boxes) the speedup is
+   recorded in ``extra_info`` but not asserted: there is nothing to
+   scale onto.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.figures import fig13_protocols
+from repro.experiments.parallel import ProcessSweepExecutor, SerialSweepExecutor
+from repro.experiments.runner import run_sweep
+from repro.metrics.report import format_table
+
+SCALING_WORKERS = 4
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def _run(executor, config):
+    started = time.perf_counter()
+    results = run_sweep(fig13_protocols(), config, executor=executor)
+    return results, time.perf_counter() - started
+
+
+def test_parallel_scaling_and_determinism(benchmark, bench_config):
+    serial_results, serial_s = _run(SerialSweepExecutor(), bench_config)
+    executor = ProcessSweepExecutor(workers=SCALING_WORKERS)
+    parallel_results, parallel_s = benchmark.pedantic(
+        lambda: _run(executor, bench_config), rounds=1, iterations=1
+    )
+
+    # Determinism: every protocol, rate, and replication — exact equality.
+    assert set(serial_results) == set(parallel_results)
+    for name, serial_sweep in serial_results.items():
+        parallel_sweep = parallel_results[name]
+        assert serial_sweep.arrival_rates == parallel_sweep.arrival_rates
+        # RunSummary dataclass equality covers every metric field.
+        assert serial_sweep.replications == parallel_sweep.replications, name
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["cores"] = cores
+    benchmark.extra_info["workers"] = SCALING_WORKERS
+    print()
+    print(
+        format_table(
+            ["executor", "wall-clock (s)", "speedup"],
+            [
+                ("serial", serial_s, 1.0),
+                (f"process x{SCALING_WORKERS}", parallel_s, speedup),
+            ],
+            title=f"Parallel sweep scaling ({cores}-core host)",
+        )
+    )
+    if cores >= SCALING_WORKERS and MIN_SPEEDUP > 0:
+        assert speedup >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP:g}x speedup on a {cores}-core host, got "
+            f"{speedup:.2f}x (serial {serial_s:.2f}s, parallel {parallel_s:.2f}s)"
+        )

@@ -4,7 +4,8 @@ Runs every figure of the paper at (near-)paper scale — 4000 completed
 transactions per run, multiple replications, the 10-200 tps sweep — and
 writes one JSON blob plus printable tables under results/.
 
-Usage:  python scripts/full_experiments.py [--quick]
+Usage:  python scripts/full_experiments.py [--quick] [--workers 4]
+                                           [--executor serial|process]
 """
 
 import argparse
@@ -12,7 +13,9 @@ import json
 import sys
 import time
 
+from repro.errors import ConfigurationError
 from repro.experiments.config import baseline_config, two_class_config
+from repro.experiments.parallel import available_executors, resolve_executor
 from repro.experiments.figures import (
     fig13_protocols,
     fig14_protocols,
@@ -42,7 +45,19 @@ def sweep_to_dict(results):
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--executor", choices=available_executors(), default=None,
+        help="sweep executor (default: serial, or process when --workers > 1)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the process executor (default: all cores)",
+    )
     args = parser.parse_args()
+    try:
+        executor = resolve_executor(args.executor, workers=args.workers)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
     txns = 1000 if args.quick else 4000
     reps = 1 if args.quick else 2
     base = baseline_config(
@@ -63,7 +78,7 @@ def main():
     t0 = time.time()
 
     print("== Figure 13 (baseline: missed ratio + tardiness) ==", flush=True)
-    r13 = run_sweep(fig13_protocols(), base, progress=progress)
+    r13 = run_sweep(fig13_protocols(), base, progress=progress, executor=executor)
     blob["fig13"] = sweep_to_dict(r13)
     print(format_series_table("rate", list(RATES),
           {n: s.missed_ratio() for n, s in r13.items()}, "Fig 13(a) Missed Ratio (%)"))
@@ -71,7 +86,7 @@ def main():
           {n: s.avg_tardiness() for n, s in r13.items()}, "Fig 13(b) Avg Tardiness (s)"))
 
     print("== Figures 14(a)/15 (one-class value runs) ==", flush=True)
-    r14a = run_sweep(fig14_protocols(), base, progress=progress)
+    r14a = run_sweep(fig14_protocols(), base, progress=progress, executor=executor)
     blob["fig14a_fig15"] = sweep_to_dict(r14a)
     print(format_series_table("rate", list(RATES),
           {n: s.system_value() for n, s in r14a.items()}, "Fig 14(a) System Value (%)"))
@@ -81,13 +96,14 @@ def main():
           {n: s.avg_tardiness() for n, s in r14a.items()}, "Fig 15(b) Avg Tardiness (s)"))
 
     print("== Figure 14(b) (two-class value runs) ==", flush=True)
-    r14b = run_sweep(fig14_protocols(), two, progress=progress)
+    r14b = run_sweep(fig14_protocols(), two, progress=progress, executor=executor)
     blob["fig14b"] = sweep_to_dict(r14b)
     print(format_series_table("rate", list(RATES),
           {n: s.system_value() for n, s in r14b.items()}, "Fig 14(b) System Value (%)"))
 
     print("== Ablation A1 (k sweep) ==", flush=True)
-    rk = run_ablation_k(base.scaled(arrival_rates=[70, 150]), ks=(1, 2, 3, 5, None))
+    rk = run_ablation_k(base.scaled(arrival_rates=[70, 150]), ks=(1, 2, 3, 5, None),
+                    executor=executor)
     blob["ablation_k"] = sweep_to_dict(rk)
     print(format_series_table("rate", [70, 150],
           {n: s.missed_ratio() for n, s in rk.items()}, "A1 Missed Ratio (%) by k"))

@@ -24,6 +24,25 @@ class ProtocolError(ReproError):
     """A concurrency-control protocol was driven through an illegal transition."""
 
 
+class SweepExecutionError(ReproError):
+    """One or more sweep cells crashed.
+
+    Raised by :func:`repro.experiments.runner.run_sweep` after the whole
+    grid has executed — per-cell fault isolation means a crashed cell never
+    cancels its siblings; their error records are collected and surfaced
+    together here via :attr:`failures`.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        first = self.failures[0]
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed; first: "
+            f"{first.cell.describe()} raised {first.error.exc_type}: "
+            f"{first.error.message}"
+        )
+
+
 class InvariantViolation(ReproError):
     """An internal correctness invariant was violated.
 

@@ -5,14 +5,32 @@ from repro.experiments.config import (
     baseline_config,
     two_class_config,
 )
+from repro.experiments.parallel import (
+    CellOutcome,
+    ProcessSweepExecutor,
+    ProgressReporter,
+    SerialSweepExecutor,
+    SweepCell,
+    SweepExecutor,
+    available_executors,
+    make_executor,
+)
 from repro.experiments.profiling import OnlineProfiler, profile_classes
 from repro.experiments.runner import SweepResult, run_once, run_sweep
 
 __all__ = [
+    "CellOutcome",
     "ExperimentConfig",
     "OnlineProfiler",
+    "ProcessSweepExecutor",
+    "ProgressReporter",
+    "SerialSweepExecutor",
+    "SweepCell",
+    "SweepExecutor",
     "SweepResult",
+    "available_executors",
     "baseline_config",
+    "make_executor",
     "profile_classes",
     "run_once",
     "run_sweep",

@@ -4,7 +4,8 @@ Usage::
 
     scc-experiments fig13a [--transactions N] [--replications R]
                            [--rates 10,50,100,150,200] [--seed S]
-    scc-experiments all --transactions 1000 --replications 2
+                           [--executor serial|process] [--workers W]
+    scc-experiments all --transactions 1000 --replications 2 --workers 4
 
 Each command prints the series the corresponding paper figure plots, as a
 fixed-width table (one row per arrival rate, one column per protocol).
@@ -20,8 +21,10 @@ from dataclasses import replace
 from typing import Callable, Optional, Sequence
 
 from repro.core.shadow_counts import figure3_table
+from repro.errors import ConfigurationError
 from repro.experiments import figures
 from repro.experiments.config import baseline_config, two_class_config
+from repro.experiments.parallel import available_executors, resolve_executor
 from repro.experiments.runner import SweepResult
 from repro.metrics.report import format_series_table, format_table
 
@@ -78,13 +81,23 @@ def _progress(protocol: str, rate: float, replication: int) -> None:
     )
 
 
+def _resolve_executor_or_exit(args: argparse.Namespace):
+    try:
+        return resolve_executor(args.executor, workers=args.workers)
+    except ConfigurationError as exc:
+        raise SystemExit(f"scc-experiments: error: {exc}")
+
+
 def _run_figure(command: str, args: argparse.Namespace) -> str:
     title, metric = _FIGURES[command]
     config = _build_config(args, two_class=(command == "fig14b"))
     rates = _parse_rates(args.rates)
     runner = _RUNNERS[command]
+    executor = _resolve_executor_or_exit(args)
     started = time.time()
-    results: dict[str, SweepResult] = runner(config, arrival_rates=rates)
+    results: dict[str, SweepResult] = runner(
+        config, arrival_rates=rates, executor=executor
+    )
     elapsed = time.time() - started
     extract = _METRIC_EXTRACTORS[metric]
     some = next(iter(results.values()))
@@ -130,6 +143,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated arrival rates (tps), e.g. 10,50,100,150,200",
     )
     parser.add_argument("--seed", type=int, default=90_1995, help="root seed")
+    parser.add_argument(
+        "--executor", choices=available_executors(), default=None,
+        help="sweep executor (default: serial, or process when --workers > 1)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the process executor (default: all cores)",
+    )
     parser.add_argument(
         "--max-n", dest="max_n", type=int, default=8,
         help="fig3: largest number of pairwise-conflicting transactions",

@@ -23,6 +23,7 @@ from repro.experiments.config import (
     baseline_config,
     two_class_config,
 )
+from repro.experiments.parallel import SweepExecutor
 from repro.experiments.runner import (
     ProtocolFactory,
     SweepResult,
@@ -61,33 +62,45 @@ def fig14_protocols() -> dict[str, ProtocolFactory]:
 def run_fig13(
     config: Optional[ExperimentConfig] = None,
     arrival_rates: Optional[Sequence[float]] = None,
+    executor: "SweepExecutor | str | None" = None,
+    workers: Optional[int] = None,
 ) -> dict[str, SweepResult]:
     """Figures 13(a)+(b): Missed Ratio and Average Tardiness, baseline model."""
-    return run_sweep(fig13_protocols(), config or baseline_config(), arrival_rates)
+    return run_sweep(fig13_protocols(), config or baseline_config(), arrival_rates,
+                     executor=executor, workers=workers)
 
 
 def run_fig14a(
     config: Optional[ExperimentConfig] = None,
     arrival_rates: Optional[Sequence[float]] = None,
+    executor: "SweepExecutor | str | None" = None,
+    workers: Optional[int] = None,
 ) -> dict[str, SweepResult]:
     """Figure 14(a): System Value, one transaction class (45° gradient)."""
-    return run_sweep(fig14_protocols(), config or baseline_config(), arrival_rates)
+    return run_sweep(fig14_protocols(), config or baseline_config(), arrival_rates,
+                     executor=executor, workers=workers)
 
 
 def run_fig14b(
     config: Optional[ExperimentConfig] = None,
     arrival_rates: Optional[Sequence[float]] = None,
+    executor: "SweepExecutor | str | None" = None,
+    workers: Optional[int] = None,
 ) -> dict[str, SweepResult]:
     """Figure 14(b): System Value, the 10%/90% two-class mix."""
-    return run_sweep(fig14_protocols(), config or two_class_config(), arrival_rates)
+    return run_sweep(fig14_protocols(), config or two_class_config(), arrival_rates,
+                     executor=executor, workers=workers)
 
 
 def run_fig15(
     config: Optional[ExperimentConfig] = None,
     arrival_rates: Optional[Sequence[float]] = None,
+    executor: "SweepExecutor | str | None" = None,
+    workers: Optional[int] = None,
 ) -> dict[str, SweepResult]:
     """Figures 15(a)+(b): SCC-VW's Missed Ratio / Average Tardiness."""
-    return run_sweep(fig14_protocols(), config or baseline_config(), arrival_rates)
+    return run_sweep(fig14_protocols(), config or baseline_config(), arrival_rates,
+                     executor=executor, workers=workers)
 
 
 # ----------------------------------------------------------------------
@@ -108,6 +121,8 @@ def run_ablation_k(
     config: Optional[ExperimentConfig] = None,
     arrival_rates: Optional[Sequence[float]] = None,
     ks: Sequence[Optional[int]] = (1, 2, 3, 5, None),
+    executor: "SweepExecutor | str | None" = None,
+    workers: Optional[int] = None,
 ) -> dict[str, SweepResult]:
     """A1: the resources-for-timeliness dial (k shadows per transaction).
 
@@ -115,7 +130,8 @@ def run_ablation_k(
     monotonically improve the Missed Ratio at a diminishing rate.
     """
     return run_sweep(
-        ablation_k_protocols(ks), config or baseline_config(), arrival_rates
+        ablation_k_protocols(ks), config or baseline_config(), arrival_rates,
+        executor=executor, workers=workers,
     )
 
 
@@ -132,19 +148,24 @@ def run_ablation_replacement(
     config: Optional[ExperimentConfig] = None,
     arrival_rates: Optional[Sequence[float]] = None,
     k: int = 3,
+    executor: "SweepExecutor | str | None" = None,
+    workers: Optional[int] = None,
 ) -> dict[str, SweepResult]:
     """A3: LBFO vs deadline-aware vs value-aware shadow replacement."""
     factories = {
         name: (lambda pol: lambda: SCCkS(k=k, replacement=pol))(policy)
         for name, policy in replacement_policies().items()
     }
-    return run_sweep(factories, config or baseline_config(), arrival_rates)
+    return run_sweep(factories, config or baseline_config(), arrival_rates,
+                     executor=executor, workers=workers)
 
 
 def run_ablation_wait_threshold(
     config: Optional[ExperimentConfig] = None,
     arrival_rates: Optional[Sequence[float]] = None,
     thresholds: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    executor: "SweepExecutor | str | None" = None,
+    workers: Optional[int] = None,
 ) -> dict[str, SweepResult]:
     """A4: the WAIT-X family (Haritsa's wait-control threshold).
 
@@ -159,13 +180,16 @@ def run_ablation_wait_threshold(
     for threshold in thresholds:
         label = f"WAIT-{int(round(threshold * 100))}"
         factories[label] = (lambda x: lambda: Wait50(wait_threshold=x))(threshold)
-    return run_sweep(factories, config or baseline_config(), arrival_rates)
+    return run_sweep(factories, config or baseline_config(), arrival_rates,
+                     executor=executor, workers=workers)
 
 
 def run_ablation_resources(
     config: Optional[ExperimentConfig] = None,
     arrival_rate: float = 100.0,
     server_counts: Sequence[Optional[int]] = (1, 2, 4, 8, 16, None),
+    executor: "SweepExecutor | str | None" = None,
+    workers: Optional[int] = None,
 ) -> dict[str, SweepResult]:
     """A2: finite resources (``None`` = infinite), fixed arrival rate.
 
@@ -193,6 +217,8 @@ def run_ablation_resources(
             config,
             arrival_rates=[arrival_rate],
             resources=factory,
+            executor=executor,
+            workers=workers,
         )
         for name, result in sweep.items():
             results[f"{name} {label}"] = result

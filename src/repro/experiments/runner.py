@@ -14,8 +14,16 @@ from typing import Callable, Mapping, Optional, Sequence
 
 from repro.analysis.serializability import check_serializable
 from repro.engine.rng import RandomStreams
-from repro.errors import InvariantViolation
+from repro.errors import InvariantViolation, SweepExecutionError
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    CellOutcome,
+    ProgressCallback,
+    SerialSweepExecutor,
+    SweepCell,
+    SweepExecutor,
+    resolve_executor,
+)
 from repro.metrics.confidence import ConfidenceInterval, mean_confidence_interval
 from repro.metrics.stats import MetricsCollector, RunSummary
 from repro.protocols.base import CCProtocol
@@ -109,14 +117,76 @@ class SweepResult:
         return self.metric(lambda s: s.system_value)
 
 
+def build_cells(
+    protocol_names: Sequence[str],
+    rates: Sequence[float],
+    replications: int,
+) -> list[SweepCell]:
+    """Enumerate the sweep grid in serial order (protocol, rate, replication)."""
+    cells: list[SweepCell] = []
+    for name in protocol_names:
+        for rate_index, rate in enumerate(rates):
+            for replication in range(replications):
+                cells.append(
+                    SweepCell(
+                        index=len(cells),
+                        protocol=name,
+                        rate_index=rate_index,
+                        arrival_rate=rate,
+                        replication=replication,
+                    )
+                )
+    return cells
+
+
+def assemble_results(
+    protocol_names: Sequence[str],
+    rates: Sequence[float],
+    replications: int,
+    outcomes: Sequence[CellOutcome],
+) -> dict[str, SweepResult]:
+    """Reassemble cell-ordered outcomes into per-protocol sweep results.
+
+    Raises:
+        SweepExecutionError: If any cell carries an error record.  All
+            failures are attached so callers can inspect every crash at
+            once rather than replaying the sweep failure by failure.
+    """
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        raise SweepExecutionError(failures)
+    by_index = {outcome.cell.index: outcome for outcome in outcomes}
+    results: dict[str, SweepResult] = {}
+    cursor = 0
+    for name in protocol_names:
+        per_rate: list[list[RunSummary]] = []
+        for _ in rates:
+            summaries: list[RunSummary] = []
+            for _ in range(replications):
+                summaries.append(by_index[cursor].summary)
+                cursor += 1
+            per_rate.append(summaries)
+        results[name] = SweepResult(
+            protocol=name, arrival_rates=tuple(rates), replications=per_rate
+        )
+    return results
+
+
 def run_sweep(
     protocols: Mapping[str, ProtocolFactory],
     config: ExperimentConfig,
     arrival_rates: Optional[Sequence[float]] = None,
     resources: Optional[ResourceFactory] = None,
     progress: Optional[Callable[[str, float, int], None]] = None,
+    executor: "SweepExecutor | str | None" = None,
+    workers: Optional[int] = None,
+    on_progress: Optional[ProgressCallback] = None,
 ) -> dict[str, SweepResult]:
     """Run every protocol over the arrival-rate sweep with replications.
+
+    The grid is executed through a :class:`SweepExecutor`.  Because every
+    cell's workload stream depends only on ``(seed, replication)``, the
+    parallel executor produces summaries bit-identical to the serial path.
 
     Args:
         protocols: name -> factory producing a *fresh* protocol instance.
@@ -124,31 +194,53 @@ def run_sweep(
         arrival_rates: Overrides ``config.arrival_rates`` when given.
         resources: Optional resource-manager factory (infinite by default).
         progress: Optional callback ``(protocol, rate, replication)`` fired
-            before each run (the CLI uses it for status lines).
+            before each run under the serial executor, and as cells complete
+            under the process executor (workers start cells remotely).
+        executor: A :class:`SweepExecutor` instance, a registry name
+            (``"serial"``/``"process"``), or ``None`` for the default
+            (serial, unless ``workers`` > 1 implies the process pool).
+        workers: Worker-process count for the process executor.
+        on_progress: Optional structured callback receiving
+            :class:`~repro.experiments.parallel.ProgressEvent` ticks
+            (e.g. a :class:`~repro.experiments.parallel.ProgressReporter`).
 
     Returns:
         name -> :class:`SweepResult`.
+
+    Raises:
+        SweepExecutionError: If any cell crashed.  The executor isolates
+            failures per cell, so every other cell still runs to completion
+            and all error records are reported together.
     """
     rates = tuple(arrival_rates if arrival_rates is not None else config.arrival_rates)
-    results: dict[str, SweepResult] = {}
-    for name, factory in protocols.items():
-        per_rate: list[list[RunSummary]] = []
-        for rate in rates:
-            summaries = []
-            for replication in range(config.replications):
-                if progress is not None:
-                    progress(name, rate, replication)
-                summaries.append(
-                    run_once(
-                        factory,
-                        config,
-                        arrival_rate=rate,
-                        replication=replication,
-                        resources=resources,
-                    )
-                )
-            per_rate.append(summaries)
-        results[name] = SweepResult(
-            protocol=name, arrival_rates=rates, replications=per_rate
+    chosen = resolve_executor(executor, workers=workers)
+    factories = dict(protocols)
+    names = list(factories)
+    cells = build_cells(names, rates, config.replications)
+
+    def run_cell(cell: SweepCell) -> RunSummary:
+        return run_once(
+            factories[cell.protocol],
+            config,
+            arrival_rate=cell.arrival_rate,
+            replication=cell.replication,
+            resources=resources,
         )
-    return results
+
+    # Legacy (name, rate, replication) progress: fire on "started" ticks
+    # under the serial executor (preserving pre-run semantics) and on
+    # "completed" ticks otherwise, since worker starts are not observable.
+    legacy_kind = (
+        "started" if isinstance(chosen, SerialSweepExecutor) else "completed"
+    )
+
+    def emit(event) -> None:
+        if progress is not None and event.kind == legacy_kind:
+            progress(event.cell.protocol, event.cell.arrival_rate,
+                     event.cell.replication)
+        if on_progress is not None:
+            on_progress(event)
+
+    callback = emit if (progress is not None or on_progress is not None) else None
+    outcomes = chosen.run(cells, run_cell, on_progress=callback)
+    return assemble_results(names, rates, config.replications, outcomes)

@@ -46,6 +46,41 @@ def test_fig14a_reduced_scale(capsys):
     assert "SCC-VW" in out
 
 
+def test_fig13a_parallel_executor(capsys):
+    code = main(
+        [
+            "fig13a",
+            "--transactions", "120",
+            "--replications", "1",
+            "--rates", "60",
+            "--executor", "process",
+            "--workers", "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Missed Ratio" in out
+    assert "SCC-2S" in out
+
+
+def test_executor_and_workers_agree_with_serial(capsys):
+    argv = ["fig13a", "--transactions", "120", "--replications", "1",
+            "--rates", "60,120"]
+    assert main(argv) == 0
+    serial_out = capsys.readouterr().out
+    assert main(argv + ["--workers", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    # Identical summaries => identical printed tables (modulo the trailing
+    # wall-clock line, which is timing-dependent).
+    strip = lambda text: [l for l in text.splitlines() if not l.startswith("[")]
+    assert strip(serial_out) == strip(parallel_out)
+
+
+def test_invalid_workers_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig13a", "--workers", "two"])
+
+
 def test_invalid_rates_rejected():
     with pytest.raises(SystemExit):
         main(["fig13a", "--rates", "ten,twenty"])
