@@ -1,7 +1,9 @@
 """Value-cognizant scheduling for a telecom billing RTDBS.
 
-The paper's §3 motivation in a concrete setting: a billing database serves
-two very different transaction classes —
+The paper's §3 motivation in a concrete setting, now driven entirely by
+the scenario registry: the ``bursty-telecom`` scenario binds an on/off
+MMPP arrival process (call storms at 8x the quiet rate) to the Figure
+14(b) two-class mix —
 
 * **fraud-check** (10% of traffic): long (32 pages), tight deadline
   (slack 1.5), very valuable when on time (a blocked fraudulent call), and
@@ -9,53 +11,26 @@ two very different transaction classes —
 * **usage-update** (90%): short (14 pages), loose deadline, low value,
   mild penalty (the record just posts late).
 
-This is exactly the Figure 14(b) two-class mix.  The example compares a
-value-oblivious speculative protocol (SCC-2S) with the value-cognizant
-SCC-VW and shows where the extra System Value comes from: the per-class
-breakdown reveals SCC-VW deferring cheap usage-updates whenever doing so
-keeps a fraud-check on time.
+The example compares a value-oblivious speculative protocol (SCC-2S) with
+the value-cognizant SCC-VW and shows where the extra System Value comes
+from: the per-class breakdown reveals SCC-VW deferring cheap usage-updates
+whenever doing so keeps a fraud-check on time — and the bursts are exactly
+when that choice matters.
 
-Run:  python examples/telecom_billing.py [--rate TPS]
+Everything workload-specific comes from ``get_scenario("bursty-telecom")``;
+swap the name (see ``scc-experiments scenarios``) to re-run the same
+comparison under any other registered workload.
+
+Run:  python examples/telecom_billing.py [--rate TPS] [--transactions N]
 """
 
 import argparse
-import math
 
-from repro import RTDBSystem, RandomStreams, SCC2S, SCCVW, TransactionClass, WorkloadGenerator
+from repro import SCC2S, SCCVW, get_scenario
+from repro.experiments.figures import run_scenario
 from repro.metrics.report import format_table
 
-FRAUD_CHECK = TransactionClass(
-    name="fraud-check",
-    num_steps=32,
-    write_probability=0.25,
-    slack_factor=1.5,
-    value=5.5,
-    alpha_degrees=math.degrees(math.atan(5.5)),  # steep: tan α = 5.5
-    weight=0.1,
-)
-USAGE_UPDATE = TransactionClass(
-    name="usage-update",
-    num_steps=14,
-    write_probability=0.25,
-    slack_factor=2.0,
-    value=0.5,
-    alpha_degrees=math.degrees(math.atan(0.5)),  # shallow: tan α = 0.5
-    weight=0.9,
-)
-
-
-def run(protocol, rate: float, transactions: int, seed: int):
-    generator = WorkloadGenerator(
-        classes=[FRAUD_CHECK, USAGE_UPDATE],
-        num_pages=1_000,
-        arrival_rate=rate,
-        step_duration=0.008,
-        streams=RandomStreams(seed),
-    )
-    system = RTDBSystem(protocol=protocol, num_pages=1_000)
-    system.load_workload(generator.generate(transactions))
-    system.run()
-    return system.metrics.summary()
+SCENARIO = "bursty-telecom"
 
 
 def main() -> None:
@@ -64,12 +39,25 @@ def main() -> None:
     parser.add_argument("--transactions", type=int, default=1_000)
     args = parser.parse_args()
 
+    scenario = get_scenario(SCENARIO)
+    print(f"scenario: {scenario.name} — {scenario.description}\n")
+
+    results = run_scenario(
+        scenario,
+        protocols={
+            "SCC-2S (value-oblivious)": SCC2S,
+            "SCC-VW (value-cognizant)": lambda: SCCVW(period=0.01),
+        },
+        arrival_rates=[args.rate],
+        num_transactions=args.transactions,
+        warmup_commits=min(200, args.transactions // 10),
+        replications=1,
+        seed=7,
+    )
+
     rows = []
-    for name, factory in (
-        ("SCC-2S (value-oblivious)", SCC2S),
-        ("SCC-VW (value-cognizant)", lambda: SCCVW(period=0.01)),
-    ):
-        summary = run(factory(), args.rate, args.transactions, seed=7)
+    for name, sweep in results.items():
+        summary = sweep.replications[0][0]
         rows.append(
             (
                 name,
@@ -91,8 +79,8 @@ def main() -> None:
                 "deferred commits",
             ],
             rows,
-            title=f"Telecom billing mix at {args.rate:g} txn/s "
-            f"({args.transactions} transactions)",
+            title=f"Telecom billing mix at {args.rate:g} txn/s mean "
+            f"({args.transactions} transactions, MMPP bursts)",
         )
     )
     gain = rows[1][1] - rows[0][1]

@@ -58,6 +58,25 @@ from repro.protocols import (
 from repro.system import FiniteResources, InfiniteResources, RTDBSystem
 from repro.txn import Step, TransactionSpec, WorkloadGenerator
 from repro.values import TransactionClass, ValueFunction
+from repro.workloads import (
+    DiurnalArrivals,
+    HotspotAccess,
+    MMPPArrivals,
+    PartitionedAccess,
+    PoissonArrivals,
+    TraceArrivals,
+    TransactionGenerator,
+    UniformAccess,
+    WorkloadSpec,
+    ZipfianAccess,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_from_dict,
+)
 
 __version__ = "1.0.0"
 
@@ -65,13 +84,18 @@ __all__ = [
     "BasicOCC",
     "ConfigurationError",
     "DeadlineAwareReplacement",
+    "DiurnalArrivals",
     "FiniteResources",
     "History",
+    "HotspotAccess",
     "InfiniteResources",
     "InvariantViolation",
     "LatestBlockedFirstOut",
+    "MMPPArrivals",
     "MetricsCollector",
     "OCCBroadcastCommit",
+    "PartitionedAccess",
+    "PoissonArrivals",
     "ProtocolError",
     "RTDBSystem",
     "RandomStreams",
@@ -82,19 +106,29 @@ __all__ = [
     "SCCDC",
     "SCCVW",
     "SCCkS",
+    "Scenario",
     "SerialExecution",
     "SimulationError",
     "Simulator",
     "Step",
+    "TraceArrivals",
     "TransactionClass",
+    "TransactionGenerator",
     "TransactionSpec",
     "TwoPhaseLockingPA",
+    "UniformAccess",
     "ValueAwareReplacement",
     "ValueFunction",
     "Wait50",
     "WorkloadGenerator",
+    "WorkloadSpec",
+    "ZipfianAccess",
+    "available_scenarios",
     "check_serializable",
     "figure3_table",
+    "get_scenario",
     "mean_confidence_interval",
+    "register_scenario",
+    "scenario_from_dict",
     "serialization_order",
 ]

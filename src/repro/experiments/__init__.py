@@ -15,6 +15,7 @@ from repro.experiments.parallel import (
     available_executors,
     make_executor,
 )
+from repro.experiments.figures import run_scenario
 from repro.experiments.profiling import OnlineProfiler, profile_classes
 from repro.experiments.runner import SweepResult, run_once, run_sweep
 
@@ -33,6 +34,7 @@ __all__ = [
     "make_executor",
     "profile_classes",
     "run_once",
+    "run_scenario",
     "run_sweep",
     "two_class_config",
 ]

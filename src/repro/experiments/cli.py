@@ -6,10 +6,18 @@ Usage::
                            [--rates 10,50,100,150,200] [--seed S]
                            [--executor serial|process] [--workers W]
     scc-experiments all --transactions 1000 --replications 2 --workers 4
+    scc-experiments --scenario bursty-telecom --rates 70,150
+    scc-experiments scenarios           # list the registered scenarios
 
 Each command prints the series the corresponding paper figure plots, as a
 fixed-width table (one row per arrival rate, one column per protocol).
 ``fig3`` prints the analytic SCC-OB vs SCC-CB shadow-count table.
+
+``--scenario NAME`` swaps the workload for a registered scenario from
+:mod:`repro.workloads.scenarios` (classes, arrival process, access
+pattern, and deadline policy all come from the scenario; ``--scenario
+paper-baseline`` is bit-identical to the default path).  The command
+defaults to ``fig13a`` so ``scc-experiments --scenario NAME`` works bare.
 """
 
 from __future__ import annotations
@@ -63,13 +71,52 @@ def _parse_rates(text: Optional[str]) -> Optional[list[float]]:
 
 
 def _build_config(args: argparse.Namespace, two_class: bool):
-    factory = two_class_config if two_class else baseline_config
-    config = factory(seed=args.seed)
+    if args.scenario is not None:
+        # The scenario defines classes, workload axes, and database size;
+        # the figure command only picks the protocol set and metric.
+        scenario = _get_scenario_or_exit(args.scenario)
+        config = scenario.to_config(seed=args.seed)
+    else:
+        factory = two_class_config if two_class else baseline_config
+        config = factory(seed=args.seed)
     return replace(
         config,
         num_transactions=args.transactions,
         warmup_commits=min(config.warmup_commits, args.transactions // 10),
         replications=args.replications,
+    )
+
+
+def _get_scenario_or_exit(name: str):
+    from repro.workloads.scenarios import get_scenario
+
+    try:
+        return get_scenario(name)
+    except ConfigurationError as exc:
+        raise SystemExit(f"scc-experiments: error: {exc}")
+
+
+def _list_scenarios() -> str:
+    from repro.workloads.scenarios import all_scenarios
+
+    rows = []
+    for scenario in all_scenarios():
+        classes = ", ".join(
+            f"{cls.name} ({cls.weight:g})" for cls in scenario.classes
+        )
+        rows.append(
+            (
+                scenario.name,
+                scenario.arrivals.kind,
+                scenario.access.kind,
+                scenario.deadlines.kind,
+                classes,
+            )
+        )
+    return format_table(
+        ["scenario", "arrivals", "access", "deadlines", "classes (weight)"],
+        rows,
+        title="Registered workload scenarios (see SCENARIOS.md)",
     )
 
 
@@ -90,6 +137,8 @@ def _resolve_executor_or_exit(args: argparse.Namespace):
 
 def _run_figure(command: str, args: argparse.Namespace) -> str:
     title, metric = _FIGURES[command]
+    if args.scenario is not None:
+        title = f"{title} [scenario: {args.scenario}]"
     config = _build_config(args, two_class=(command == "fig14b"))
     rates = _parse_rates(args.rates)
     runner = _RUNNERS[command]
@@ -111,6 +160,13 @@ def _run_figure(command: str, args: argparse.Namespace) -> str:
 
 
 def _run_fig3(args: argparse.Namespace) -> str:
+    if args.scenario is not None:
+        # fig3 is an analytic shadow-count table; no workload is simulated.
+        print(
+            f"note: fig3 is workload-independent; --scenario {args.scenario} "
+            "does not apply to it",
+            file=sys.stderr,
+        )
     rows = figure3_table(max_n=args.max_n)
     return format_table(
         ["n", "SCC-OB shadows", "SCC-CB concurrent", "SCC-CB total"],
@@ -127,8 +183,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=sorted(_FIGURES) + ["fig3", "all"],
-        help="which figure to regenerate",
+        nargs="?",
+        default="fig13a",
+        choices=sorted(_FIGURES) + ["fig3", "all", "scenarios"],
+        help="which figure to regenerate, or 'scenarios' to list the "
+        "registered workload scenarios (default: fig13a)",
+    )
+    parser.add_argument(
+        "--scenario", type=str, default=None,
+        help="run over a registered workload scenario instead of the "
+        "paper's baseline model (see 'scc-experiments scenarios')",
     )
     parser.add_argument(
         "--transactions", type=int, default=4000,
@@ -159,7 +223,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     commands = sorted(_FIGURES) + ["fig3"] if args.command == "all" else [args.command]
     for command in commands:
-        if command == "fig3":
+        if command == "scenarios":
+            print(_list_scenarios())
+        elif command == "fig3":
             print(_run_fig3(args))
         else:
             print(_run_figure(command, args))

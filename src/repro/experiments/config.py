@@ -16,10 +16,13 @@ EXPERIMENTS.md records the shape agreement point by point.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.values.classes import TransactionClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.workloads.generator import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -40,6 +43,10 @@ class ExperimentConfig:
     arrival_rates: tuple[float, ...] = (10, 25, 50, 75, 100, 125, 150, 175, 200)
     check_serializability: bool = True
     confidence_level: float = 0.90
+    # Workload shape (arrival process / access pattern / deadline policy).
+    # None means the paper baseline — bit-identical to the seed generator.
+    # Scenario-driven configs (repro.workloads.scenarios) set this.
+    workload: Optional["WorkloadSpec"] = None
 
     def __post_init__(self) -> None:
         if not self.classes:

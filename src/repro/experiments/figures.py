@@ -3,6 +3,8 @@
 Each ``figNN`` function returns the protocol set and configuration that
 regenerate one figure of the paper; ``run_*`` executes it and returns the
 plotted series.  Benchmarks and the CLI are thin wrappers over these.
+:func:`run_scenario` is the same entry point for registered workload
+scenarios (:mod:`repro.workloads.scenarios`) instead of paper figures.
 """
 
 from __future__ import annotations
@@ -57,6 +59,35 @@ def fig14_protocols() -> dict[str, ProtocolFactory]:
         "OCC-BC": OCCBroadcastCommit,
         "WAIT-50": Wait50,
     }
+
+
+def run_scenario(
+    scenario,
+    protocols: Optional[Mapping[str, ProtocolFactory]] = None,
+    arrival_rates: Optional[Sequence[float]] = None,
+    executor: "SweepExecutor | str | None" = None,
+    workers: Optional[int] = None,
+    **config_overrides,
+) -> dict[str, SweepResult]:
+    """Run a registered (or ad-hoc) scenario through the sweep runner.
+
+    Args:
+        scenario: A registry name (``"bursty-telecom"``) or a
+            :class:`~repro.workloads.scenarios.Scenario` instance.
+        protocols: Protocol set; defaults to :func:`fig14_protocols` (the
+            value-cognizant contenders).
+        arrival_rates: Overrides the scenario's default sweep axis.
+        config_overrides: Passed to
+            :meth:`~repro.workloads.scenarios.Scenario.to_config` (e.g.
+            ``num_transactions=200, replications=1`` for smoke runs).
+    """
+    from repro.workloads.scenarios import Scenario, get_scenario
+
+    if not isinstance(scenario, Scenario):
+        scenario = get_scenario(scenario)
+    config = scenario.to_config(**config_overrides)
+    return run_sweep(protocols or fig14_protocols(), config, arrival_rates,
+                     executor=executor, workers=workers)
 
 
 def run_fig13(

@@ -5,6 +5,11 @@ cell, every protocol sees *literally the same workload* — same arrival
 instants, page selections, and update coin-flips — because the workload
 stream is derived from ``(seed, replication)`` only.  Confidence intervals
 are computed across replications per the paper's 90% rule.
+
+Workload shape is delegated to :mod:`repro.workloads`: each cell builds
+its generator via :func:`~repro.workloads.generator.build_generator`, so
+scenario configs (``config.workload``) and the paper baseline take the
+same path.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from repro.metrics.stats import MetricsCollector, RunSummary
 from repro.protocols.base import CCProtocol
 from repro.system.model import RTDBSystem
 from repro.system.resources import InfiniteResources, ResourceManager
-from repro.txn.generator import WorkloadGenerator
+from repro.workloads.generator import build_generator
 
 ProtocolFactory = Callable[[], CCProtocol]
 ResourceFactory = Callable[[ExperimentConfig], ResourceManager]
@@ -54,13 +59,7 @@ def run_once(
             bug, never a workload property.
     """
     streams = RandomStreams(config.seed).spawn(replication)
-    generator = WorkloadGenerator(
-        classes=list(config.classes),
-        num_pages=config.num_pages,
-        arrival_rate=arrival_rate,
-        step_duration=config.step_duration,
-        streams=streams,
-    )
+    generator = build_generator(config, arrival_rate, streams)
     resource_factory = resources or _default_resources
     system = RTDBSystem(
         protocol=protocol_factory(),

@@ -1,31 +1,40 @@
-"""Workload generation (paper §4 baseline model).
+"""Workload generation (paper §4 baseline model) — compatibility shim.
 
-The baseline model: a database of 1,000 pages; each transaction accesses 16
-randomly selected pages; each accessed page is updated with probability
-25%; deadlines use a slack factor of 2; arrivals are Poisson.  Multi-class
-mixes (Figure 14(b)) weight classes by frequency and give each class its
-own length, slack, value, and penalty gradient.
+The Poisson/uniform sampling pipeline that used to live here has moved to
+the :mod:`repro.workloads` subsystem, where arrivals, page selection, and
+deadlines are pluggable axes (see :mod:`repro.workloads.generator`).  This
+module keeps the seed-era entry points importable:
 
-Randomness is split across named streams (arrivals / pages / writes /
-classes) so that, e.g., changing the class mix does not perturb arrival
-times — the variance-reduction discipline simulation studies rely on when
-comparing protocols "on the same workload".
+* :class:`WorkloadGenerator` — thin wrapper over
+  :class:`~repro.workloads.generator.TransactionGenerator` with the
+  baseline axes (Poisson arrivals, uniform access, class-slack deadlines);
+  its output is bit-identical to the seed implementation.
+* :func:`fixed_workload` — hand-crafted workloads for the paper-figure
+  vignettes (unchanged).
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence
 
-import numpy as np
-
 from repro.engine.rng import RandomStreams
 from repro.errors import ConfigurationError
 from repro.txn.spec import Step, TransactionSpec
 from repro.values.classes import TransactionClass
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.generator import TransactionGenerator
 
 
 class WorkloadGenerator:
-    """Generates a stream of :class:`TransactionSpec` objects.
+    """Generates a stream of baseline-model :class:`TransactionSpec` objects.
+
+    .. deprecated:: 1.1
+        Kept as a compatibility shim over
+        :class:`repro.workloads.generator.TransactionGenerator`, which it
+        matches bit-for-bit under the same seed.  New code should build a
+        ``TransactionGenerator`` (or go through the scenario registry in
+        :mod:`repro.workloads.scenarios`) to pick arrival processes and
+        access patterns explicitly.
 
     Args:
         classes: Transaction classes to mix; selection probability is each
@@ -46,87 +55,31 @@ class WorkloadGenerator:
         step_duration: float,
         streams: RandomStreams,
     ) -> None:
-        if not classes:
-            raise ConfigurationError("need at least one transaction class")
-        if num_pages <= 0:
-            raise ConfigurationError(f"num_pages must be positive, got {num_pages}")
-        if arrival_rate <= 0:
-            raise ConfigurationError(
-                f"arrival_rate must be positive, got {arrival_rate}"
-            )
-        if step_duration <= 0:
-            raise ConfigurationError(
-                f"step_duration must be positive, got {step_duration}"
-            )
-        for cls in classes:
-            if cls.num_steps > num_pages:
-                raise ConfigurationError(
-                    f"class {cls.name!r} accesses {cls.num_steps} pages but the "
-                    f"database only has {num_pages}"
-                )
-        self._classes = list(classes)
-        self._num_pages = num_pages
-        self._arrival_rate = arrival_rate
-        self._step_duration = step_duration
-        self._streams = streams
-        weights = np.array([cls.weight for cls in classes], dtype=float)
-        self._class_probs = weights / weights.sum()
-        self._next_id = 0
-        self._clock = 0.0
+        self._delegate = TransactionGenerator(
+            classes=classes,
+            num_pages=num_pages,
+            step_duration=step_duration,
+            streams=streams,
+            arrivals=PoissonArrivals(arrival_rate),
+        )
 
     @property
     def arrival_rate(self) -> float:
         """Poisson arrival rate λ in transactions per second."""
-        return self._arrival_rate
+        return self._delegate.arrival_rate
 
     @property
     def step_duration(self) -> float:
         """Per-page service time the generator assumes for estimates."""
-        return self._step_duration
+        return self._delegate.step_duration
 
     def next_transaction(self) -> TransactionSpec:
         """Sample the next transaction, advancing the arrival clock."""
-        inter_arrival = self._streams["arrivals"].exponential(1.0 / self._arrival_rate)
-        self._clock += inter_arrival
-        return self._make(self._clock)
+        return self._delegate.next_transaction()
 
     def generate(self, count: int) -> Iterator[TransactionSpec]:
         """Yield ``count`` transactions in arrival order."""
-        if count < 0:
-            raise ConfigurationError(f"count must be >= 0, got {count}")
-        for _ in range(count):
-            yield self.next_transaction()
-
-    def _make(self, arrival: float) -> TransactionSpec:
-        txn_class = self._pick_class()
-        pages = self._streams["pages"].choice(
-            self._num_pages, size=txn_class.num_steps, replace=False
-        )
-        write_flags = (
-            self._streams["writes"].random(txn_class.num_steps)
-            < txn_class.write_probability
-        )
-        steps = [
-            Step(page=int(page), is_write=bool(flag))
-            for page, flag in zip(pages, write_flags)
-        ]
-        spec = TransactionSpec.build(
-            txn_id=self._next_id,
-            arrival=arrival,
-            steps=steps,
-            txn_class=txn_class,
-            step_duration=self._step_duration,
-        )
-        self._next_id += 1
-        return spec
-
-    def _pick_class(self) -> TransactionClass:
-        if len(self._classes) == 1:
-            return self._classes[0]
-        index = self._streams["classes"].choice(
-            len(self._classes), p=self._class_probs
-        )
-        return self._classes[int(index)]
+        return self._delegate.generate(count)
 
 
 def fixed_workload(

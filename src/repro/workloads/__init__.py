@@ -1,0 +1,97 @@
+"""Workload subsystem: arrival processes × access patterns × scenarios.
+
+Decomposes workload generation into three pluggable axes — *when*
+transactions arrive (:mod:`~repro.workloads.arrivals`), *which pages* they
+touch (:mod:`~repro.workloads.access`), and *by when* they must finish
+(deadline policies in :mod:`~repro.workloads.generator`) — plus a
+declarative registry of named scenarios binding the axes to class mixes
+(:mod:`~repro.workloads.scenarios`).  The default composition (Poisson +
+uniform + per-class slack) is bit-identical to the seed generator.
+"""
+
+from repro.workloads.access import (
+    AccessPattern,
+    HotspotAccess,
+    PartitionedAccess,
+    UniformAccess,
+    ZipfianAccess,
+    access_pattern_from_dict,
+)
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    ArrivalSpec,
+    DiurnalArrivals,
+    DiurnalSpec,
+    MMPPArrivals,
+    MMPPSpec,
+    PoissonArrivals,
+    PoissonSpec,
+    TraceArrivals,
+    TraceSpec,
+    arrival_spec_from_dict,
+)
+from repro.workloads.generator import (
+    DeadlinePolicy,
+    FixedOffsetDeadlines,
+    SlackDeadlines,
+    TransactionGenerator,
+    WorkloadSpec,
+    build_generator,
+    deadline_policy_from_dict,
+)
+
+# The scenario registry imports repro.experiments.config (for
+# ExperimentConfig / baseline_class); loading it eagerly here would close
+# an import cycle through repro.txn -> repro.workloads.  PEP 562 lazy
+# re-export keeps `from repro.workloads import get_scenario` working while
+# low-level consumers (the txn shim, the sweep runner) stay cycle-free.
+_SCENARIO_EXPORTS = (
+    "Scenario",
+    "all_scenarios",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "scenario_from_dict",
+)
+
+
+def __getattr__(name: str):
+    if name in _SCENARIO_EXPORTS or name == "scenarios":
+        import importlib
+
+        module = importlib.import_module("repro.workloads.scenarios")
+        return module if name == "scenarios" else getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AccessPattern",
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "DeadlinePolicy",
+    "DiurnalArrivals",
+    "DiurnalSpec",
+    "FixedOffsetDeadlines",
+    "HotspotAccess",
+    "MMPPArrivals",
+    "MMPPSpec",
+    "PartitionedAccess",
+    "PoissonArrivals",
+    "PoissonSpec",
+    "Scenario",
+    "SlackDeadlines",
+    "TraceArrivals",
+    "TraceSpec",
+    "TransactionGenerator",
+    "UniformAccess",
+    "WorkloadSpec",
+    "ZipfianAccess",
+    "access_pattern_from_dict",
+    "all_scenarios",
+    "arrival_spec_from_dict",
+    "available_scenarios",
+    "build_generator",
+    "deadline_policy_from_dict",
+    "get_scenario",
+    "register_scenario",
+    "scenario_from_dict",
+]

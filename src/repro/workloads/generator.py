@@ -1,0 +1,318 @@
+"""Workload assembly: arrival process × access pattern × class mix.
+
+This is the extraction target of the seed's ``repro.txn.generator``: the
+same sampling pipeline (arrival instant → class pick → page selection →
+update coin-flips → deadline) with each axis now pluggable.  Randomness
+stays split across the named streams of
+:class:`~repro.engine.rng.RandomStreams`:
+
+* ``"arrivals"`` — consumed only by the :class:`ArrivalProcess`;
+* ``"classes"`` — class-mix picks (only when the mix has >1 class);
+* ``"pages"`` / ``"writes"`` — consumed only by the :class:`AccessPattern`.
+
+Because each axis owns its streams, changing one axis can never perturb
+another — protocols are still compared "on the same workload", and with
+the default axes (Poisson + uniform + class slack deadlines) the output is
+bit-identical to the seed generator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.rng import RandomStreams
+from repro.errors import ConfigurationError
+from repro.txn.spec import TransactionSpec
+from repro.values.classes import TransactionClass
+from repro.workloads.access import AccessPattern, UniformAccess
+from repro.workloads.arrivals import ArrivalProcess, ArrivalSpec, PoissonSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "DeadlinePolicy",
+    "FixedOffsetDeadlines",
+    "SlackDeadlines",
+    "TransactionGenerator",
+    "WorkloadSpec",
+    "build_generator",
+    "deadline_policy_from_dict",
+]
+
+
+class DeadlinePolicy(ABC):
+    """Maps (arrival, execution estimate, class) to a deadline."""
+
+    @abstractmethod
+    def deadline_for(
+        self, arrival: float, estimated: float, txn_class: TransactionClass
+    ) -> Optional[float]:
+        """Absolute deadline, or ``None`` to use the spec-builder default
+        (the paper's per-class slack-factor rule)."""
+
+    @property
+    @abstractmethod
+    def kind(self) -> str:
+        """Registry key used in dict/JSON form."""
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, invertible by :func:`deadline_policy_from_dict`."""
+        from dataclasses import asdict
+
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class SlackDeadlines(DeadlinePolicy):
+    """The paper's rule: ``deadline = arrival + slack * estimate``.
+
+    With ``factor=None`` (default) each class's own ``slack_factor``
+    applies — the seed behaviour.  A numeric ``factor`` overrides every
+    class, tightening or loosening a whole scenario at once.
+    """
+
+    factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.factor is not None and self.factor < 1.0:
+            raise ConfigurationError(
+                f"slack factor must be >= 1, got {self.factor}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "slack"
+
+    def deadline_for(
+        self, arrival: float, estimated: float, txn_class: TransactionClass
+    ) -> Optional[float]:
+        if self.factor is None:
+            return None  # spec builder applies txn_class.slack_factor
+        return arrival + self.factor * estimated
+
+
+@dataclass(frozen=True)
+class FixedOffsetDeadlines(DeadlinePolicy):
+    """A flat patience window: ``deadline = arrival + offset`` seconds,
+    independent of transaction length (e.g. a user-facing SLA)."""
+
+    offset: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.offset <= 0:
+            raise ConfigurationError(
+                f"deadline offset must be positive, got {self.offset}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "fixed-offset"
+
+    def deadline_for(
+        self, arrival: float, estimated: float, txn_class: TransactionClass
+    ) -> Optional[float]:
+        return arrival + self.offset
+
+
+_POLICY_KINDS: dict[str, type[DeadlinePolicy]] = {
+    "slack": SlackDeadlines,
+    "fixed-offset": FixedOffsetDeadlines,
+}
+
+
+def deadline_policy_from_dict(payload: dict) -> DeadlinePolicy:
+    """Rebuild a :class:`DeadlinePolicy` from its dict form, e.g.
+    ``{"kind": "slack", "factor": 1.5}``."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    policy_cls = _POLICY_KINDS.get(kind)
+    if policy_cls is None:
+        raise ConfigurationError(
+            f"unknown deadline kind {kind!r}; choose from {sorted(_POLICY_KINDS)}"
+        )
+    try:
+        return policy_cls(**data)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad {kind!r} deadline parameters: {exc}") from exc
+
+
+class TransactionGenerator:
+    """Generates a stream of :class:`TransactionSpec` objects.
+
+    The composition point of the subsystem: an arrival process decides
+    *when*, the class mix decides *what kind*, the access pattern decides
+    *which pages*, and the deadline policy decides *by when*.
+
+    Args:
+        classes: Transaction classes to mix; selection probability is each
+            class's ``weight`` normalized over the mix.
+        num_pages: Database size.
+        step_duration: Per-page service time used for the a-priori
+            execution estimate that deadlines are derived from.
+        streams: Named random streams (see :class:`RandomStreams`).
+        arrivals: Arrival process (fresh instance; it carries the clock).
+        access: Page-selection pattern (stateless, reusable).
+        deadlines: Deadline policy (stateless, reusable).
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[TransactionClass],
+        num_pages: int,
+        step_duration: float,
+        streams: RandomStreams,
+        arrivals: ArrivalProcess,
+        access: Optional[AccessPattern] = None,
+        deadlines: Optional[DeadlinePolicy] = None,
+    ) -> None:
+        if not classes:
+            raise ConfigurationError("need at least one transaction class")
+        if num_pages <= 0:
+            raise ConfigurationError(f"num_pages must be positive, got {num_pages}")
+        if step_duration <= 0:
+            raise ConfigurationError(
+                f"step_duration must be positive, got {step_duration}"
+            )
+        self._access = access if access is not None else UniformAccess()
+        self._deadlines = deadlines if deadlines is not None else SlackDeadlines()
+        for cls in classes:
+            self._access.validate(num_pages, cls.num_steps)
+        self._classes = list(classes)
+        self._num_pages = num_pages
+        self._step_duration = step_duration
+        self._streams = streams
+        self._arrivals = arrivals
+        weights = np.array([cls.weight for cls in classes], dtype=float)
+        self._class_probs = weights / weights.sum()
+        self._next_id = 0
+
+    @property
+    def arrival_rate(self) -> float:
+        """Nominal mean arrival rate of the arrival process (txn/s)."""
+        return self._arrivals.rate
+
+    @property
+    def step_duration(self) -> float:
+        """Per-page service time the generator assumes for estimates."""
+        return self._step_duration
+
+    @property
+    def access(self) -> AccessPattern:
+        """The page-selection pattern in use."""
+        return self._access
+
+    @property
+    def arrivals(self) -> ArrivalProcess:
+        """The arrival process in use."""
+        return self._arrivals
+
+    def next_transaction(self) -> TransactionSpec:
+        """Sample the next transaction, advancing the arrival clock."""
+        arrival = self._arrivals.next_arrival(self._streams["arrivals"])
+        return self._make(arrival)
+
+    def generate(self, count: int) -> Iterator[TransactionSpec]:
+        """Yield ``count`` transactions in arrival order."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        for _ in range(count):
+            yield self.next_transaction()
+
+    def _make(self, arrival: float) -> TransactionSpec:
+        txn_class = self._pick_class()
+        steps = self._access.sample_steps(
+            self._streams["pages"],
+            self._streams["writes"],
+            self._num_pages,
+            txn_class.num_steps,
+            txn_class.write_probability,
+        )
+        estimated = len(steps) * self._step_duration
+        deadline = self._deadlines.deadline_for(arrival, estimated, txn_class)
+        spec = TransactionSpec.build(
+            txn_id=self._next_id,
+            arrival=arrival,
+            steps=steps,
+            txn_class=txn_class,
+            step_duration=self._step_duration,
+            deadline=deadline,
+        )
+        self._next_id += 1
+        return spec
+
+    def _pick_class(self) -> TransactionClass:
+        if len(self._classes) == 1:
+            return self._classes[0]
+        index = self._streams["classes"].choice(
+            len(self._classes), p=self._class_probs
+        )
+        return self._classes[int(index)]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative workload shape: the three pluggable axes, rate-free.
+
+    Stored on :class:`~repro.experiments.config.ExperimentConfig` (and by
+    scenarios); instantiated per sweep point via :func:`build_generator`.
+    The default spec reproduces the paper's §4 baseline exactly.
+    """
+
+    arrivals: ArrivalSpec = PoissonSpec()
+    access: AccessPattern = UniformAccess()
+    deadlines: DeadlinePolicy = SlackDeadlines()
+
+    def to_dict(self) -> dict:
+        """Nested plain-dict form of all three axes."""
+        return {
+            "arrivals": self.arrivals.to_dict(),
+            "access": self.access.to_dict(),
+            "deadlines": self.deadlines.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadSpec":
+        """Rebuild from :meth:`to_dict` form; absent axes use defaults."""
+        from repro.workloads.access import access_pattern_from_dict
+        from repro.workloads.arrivals import arrival_spec_from_dict
+
+        data = dict(payload)
+        kwargs: dict = {}
+        if "arrivals" in data:
+            kwargs["arrivals"] = arrival_spec_from_dict(data.pop("arrivals"))
+        if "access" in data:
+            kwargs["access"] = access_pattern_from_dict(data.pop("access"))
+        if "deadlines" in data:
+            kwargs["deadlines"] = deadline_policy_from_dict(data.pop("deadlines"))
+        if data:
+            # A typo'd axis key must not silently fall back to the baseline.
+            raise ConfigurationError(f"unknown workload keys: {sorted(data)}")
+        return cls(**kwargs)
+
+
+def build_generator(
+    config: "ExperimentConfig",
+    arrival_rate: float,
+    streams: RandomStreams,
+) -> TransactionGenerator:
+    """Instantiate the generator one sweep cell runs on.
+
+    Uses ``config.workload`` when set (scenario-driven runs) and the
+    baseline :class:`WorkloadSpec` otherwise — the latter is bit-identical
+    to the seed ``WorkloadGenerator`` path.
+    """
+    spec = config.workload if config.workload is not None else WorkloadSpec()
+    return TransactionGenerator(
+        classes=list(config.classes),
+        num_pages=config.num_pages,
+        step_duration=config.step_duration,
+        streams=streams,
+        arrivals=spec.arrivals.build(arrival_rate),
+        access=spec.access,
+        deadlines=spec.deadlines,
+    )

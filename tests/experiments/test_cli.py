@@ -76,6 +76,55 @@ def test_executor_and_workers_agree_with_serial(capsys):
     assert strip(serial_out) == strip(parallel_out)
 
 
+def test_scenarios_command_lists_registry(capsys):
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "paper-baseline",
+        "bursty-telecom",
+        "flash-sale-hotspot",
+        "diurnal-oltp",
+        "trace-replay",
+    ):
+        assert name in out
+
+
+def test_scenario_flag_swaps_workload(capsys):
+    code = main(
+        [
+            "fig13a",
+            "--scenario", "flash-sale-hotspot",
+            "--transactions", "120",
+            "--replications", "1",
+            "--rates", "100",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "scenario: flash-sale-hotspot" in out
+
+
+def test_scenario_paper_baseline_matches_default_path(capsys):
+    # The acceptance criterion: `scc-experiments --scenario paper-baseline`
+    # (command defaults to fig13a) is bit-identical to the default path.
+    argv = ["--transactions", "120", "--replications", "1", "--rates", "60,120"]
+    assert main(["fig13a"] + argv) == 0
+    default_out = capsys.readouterr().out
+    assert main(argv + ["--scenario", "paper-baseline"]) == 0
+    scenario_out = capsys.readouterr().out
+    strip = lambda text: [
+        line.replace(" [scenario: paper-baseline]", "")
+        for line in text.splitlines()
+        if not line.startswith("[")  # trailing wall-clock line
+    ]
+    assert strip(default_out) == strip(scenario_out)
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(SystemExit, match="unknown scenario"):
+        main(["fig13a", "--scenario", "does-not-exist"])
+
+
 def test_invalid_workers_rejected():
     with pytest.raises(SystemExit):
         main(["fig13a", "--workers", "two"])

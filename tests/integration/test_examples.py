@@ -47,3 +47,13 @@ def test_telecom_billing(capsys):
     out = run_example("telecom_billing.py", ["--transactions", "300"], capsys)
     assert "fraud-check" in out
     assert "System Value" in out or "system value" in out
+    # Registry-driven: the example names its scenario.
+    assert "bursty-telecom" in out
+
+
+def test_flash_sale(capsys):
+    out = run_example("flash_sale.py", ["--transactions", "200"], capsys)
+    assert "flash-sale-hotspot" in out
+    assert "checkout" in out
+    assert "2PL-PA" in out
+    assert "Best System Value" in out

@@ -31,6 +31,8 @@ def test_version():
         "repro.system",
         "repro.txn",
         "repro.values",
+        "repro.workloads",
+        "repro.workloads.scenarios",
     ],
 )
 def test_subpackages_import_and_have_docstrings(module_name):

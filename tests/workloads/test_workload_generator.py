@@ -1,0 +1,212 @@
+"""The composed generator: stream independence and seed-compat guarantees.
+
+Two properties anchor the subsystem:
+
+1. *Stream independence* — each axis owns its named random streams, so
+   swapping the access pattern (or deadline policy, or class mix) leaves
+   the arrival-time sequence bit-identical.
+2. *Baseline compatibility* — the default axes reproduce the seed
+   ``WorkloadGenerator`` spec-for-spec under the same seed, so every
+   pre-subsystem result stays reproducible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import RandomStreams
+from repro.errors import ConfigurationError
+from repro.txn.generator import WorkloadGenerator
+from repro.txn.spec import Step
+from repro.workloads.access import UniformAccess, ZipfianAccess
+from repro.workloads.arrivals import MMPPArrivals, PoissonArrivals
+from repro.workloads.generator import (
+    FixedOffsetDeadlines,
+    SlackDeadlines,
+    TransactionGenerator,
+    WorkloadSpec,
+    deadline_policy_from_dict,
+)
+from tests.conftest import make_class
+
+SEED = 42
+
+
+def make_generator(arrivals=None, access=None, deadlines=None, classes=None,
+                   seed=SEED, num_pages=500):
+    return TransactionGenerator(
+        classes=classes or [make_class(num_steps=16)],
+        num_pages=num_pages,
+        step_duration=0.008,
+        streams=RandomStreams(seed),
+        arrivals=arrivals or PoissonArrivals(80.0),
+        access=access,
+        deadlines=deadlines,
+    )
+
+
+class TestStreamIndependence:
+    def test_access_swap_leaves_arrivals_bit_identical(self):
+        uniform = make_generator(access=UniformAccess())
+        zipfian = make_generator(access=ZipfianAccess(theta=0.95))
+        a = [s.arrival for s in uniform.generate(200)]
+        b = [s.arrival for s in zipfian.generate(200)]
+        assert a == b  # exact equality, not approx — same stream, same draws
+
+    def test_deadline_swap_leaves_arrivals_and_pages_bit_identical(self):
+        slack = make_generator(deadlines=SlackDeadlines())
+        fixed = make_generator(deadlines=FixedOffsetDeadlines(offset=0.4))
+        for a, b in zip(slack.generate(100), fixed.generate(100)):
+            assert a.arrival == b.arrival
+            assert a.steps == b.steps
+            assert b.deadline == pytest.approx(b.arrival + 0.4)
+
+    def test_class_mix_swap_leaves_arrivals_bit_identical(self):
+        one = make_generator()
+        two = make_generator(
+            classes=[
+                make_class(name="a", weight=0.5),
+                make_class(name="b", weight=0.5),
+            ]
+        )
+        a = [s.arrival for s in one.generate(100)]
+        b = [s.arrival for s in two.generate(100)]
+        assert a == b
+
+    def test_arrival_swap_leaves_pages_bit_identical(self):
+        poisson = make_generator(arrivals=PoissonArrivals(80.0))
+        mmpp = make_generator(arrivals=MMPPArrivals(80.0))
+        a = [s.steps for s in poisson.generate(100)]
+        b = [s.steps for s in mmpp.generate(100)]
+        assert a == b
+
+
+class TestSeedCompatibility:
+    """paper-baseline must equal the seed generator output spec-for-spec."""
+
+    def reference_specs(self, count, classes, num_pages, rate, step, seed):
+        """The seed algorithm, reimplemented verbatim against raw streams."""
+        streams = RandomStreams(seed)
+        weights = np.array([c.weight for c in classes], dtype=float)
+        probs = weights / weights.sum()
+        clock, out = 0.0, []
+        for txn_id in range(count):
+            clock += streams["arrivals"].exponential(1.0 / rate)
+            if len(classes) == 1:
+                cls = classes[0]
+            else:
+                cls = classes[int(streams["classes"].choice(len(classes), p=probs))]
+            pages = streams["pages"].choice(
+                num_pages, size=cls.num_steps, replace=False
+            )
+            flags = streams["writes"].random(cls.num_steps) < cls.write_probability
+            steps = tuple(
+                Step(page=int(p), is_write=bool(f))
+                for p, f in zip(pages, flags)
+            )
+            deadline = clock + cls.slack_factor * cls.num_steps * step
+            out.append((txn_id, clock, steps, deadline, cls.name))
+        return out
+
+    def as_tuples(self, specs):
+        return [
+            (s.txn_id, s.arrival, s.steps, s.deadline, s.txn_class.name)
+            for s in specs
+        ]
+
+    @pytest.mark.parametrize("num_classes", [1, 2])
+    def test_default_axes_match_seed_algorithm(self, num_classes):
+        classes = [make_class(num_steps=16)]
+        if num_classes == 2:
+            classes = [
+                make_class(name="long", num_steps=24, weight=0.2),
+                make_class(name="short", num_steps=8, weight=0.8),
+            ]
+        generator = make_generator(classes=classes)
+        expected = self.reference_specs(
+            60, classes, num_pages=500, rate=80.0, step=0.008, seed=SEED
+        )
+        assert self.as_tuples(generator.generate(60)) == expected
+
+    def test_legacy_shim_matches_new_generator(self):
+        legacy = WorkloadGenerator(
+            classes=[make_class(num_steps=16)],
+            num_pages=500,
+            arrival_rate=80.0,
+            step_duration=0.008,
+            streams=RandomStreams(SEED),
+        )
+        modern = make_generator()
+        assert self.as_tuples(legacy.generate(80)) == self.as_tuples(
+            modern.generate(80)
+        )
+
+    def test_default_workload_spec_is_the_baseline(self):
+        spec = WorkloadSpec()
+        assert isinstance(spec.arrivals.build(50.0), PoissonArrivals)
+        assert spec.access == UniformAccess()
+        assert spec.deadlines == SlackDeadlines()
+
+    def test_workload_spec_dict_round_trip(self):
+        spec = WorkloadSpec(
+            access=ZipfianAccess(theta=0.9),
+            deadlines=FixedOffsetDeadlines(offset=0.3),
+        )
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+    def test_workload_spec_rejects_typoed_axis_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown workload keys"):
+            WorkloadSpec.from_dict({"arrivials": {"kind": "mmpp"}})
+
+
+class TestDeadlinePolicies:
+    def test_class_slack_is_the_default(self):
+        spec = next(make_generator().generate(1))
+        assert spec.deadline == pytest.approx(
+            spec.arrival + 2.0 * 16 * 0.008
+        )
+
+    def test_slack_override_applies_to_every_class(self):
+        generator = make_generator(deadlines=SlackDeadlines(factor=3.0))
+        spec = next(generator.generate(1))
+        assert spec.deadline == pytest.approx(spec.arrival + 3.0 * 16 * 0.008)
+
+    def test_fixed_offset(self):
+        generator = make_generator(deadlines=FixedOffsetDeadlines(offset=0.7))
+        spec = next(generator.generate(1))
+        assert spec.deadline == pytest.approx(spec.arrival + 0.7)
+
+    def test_dict_round_trip(self):
+        for policy in (
+            SlackDeadlines(),
+            SlackDeadlines(factor=1.5),
+            FixedOffsetDeadlines(offset=0.3),
+        ):
+            assert deadline_policy_from_dict(policy.to_dict()) == policy
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlackDeadlines(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            FixedOffsetDeadlines(offset=0.0)
+        with pytest.raises(ConfigurationError, match="unknown deadline kind"):
+            deadline_policy_from_dict({"kind": "astrological"})
+
+
+class TestValidation:
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransactionGenerator(
+                classes=[],
+                num_pages=100,
+                step_duration=0.008,
+                streams=RandomStreams(1),
+                arrivals=PoissonArrivals(10.0),
+            )
+
+    def test_access_pattern_validated_against_classes(self):
+        with pytest.raises(ConfigurationError):
+            make_generator(classes=[make_class(num_steps=600)], num_pages=500)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(make_generator().generate(-1))
