@@ -1,0 +1,89 @@
+"""Engine hot-path microbenchmarks (event loop + SCC step machinery).
+
+Unlike the figure benchmarks (which time whole experiment sweeps), these
+isolate the two layers every sweep cell pays for on *every simulated page
+access*:
+
+* ``test_event_loop_throughput`` — the bare simulator: schedule/fire a
+  large batch of self-rescheduling no-op events.  Measures queue
+  discipline (tuple-keyed heap, fused pop) with no protocol on top.
+* ``test_scc_step_loop_throughput`` — one in-process SCC-2S run at a
+  contended arrival rate.  Measures the full per-access stack: step loop,
+  conflict detection against the access index, shadow fork/block/promote,
+  and commit processing.
+
+Both report ``events_per_sec`` in ``extra_info``; the regression gate
+(`scripts/check_bench_regression.py`) tracks their wall clock like every
+other entry in BENCH_baseline.json.  See benchmarks/README.md for how to
+read the output and when re-baselining is legitimate.
+"""
+
+from repro.core.scc_2s import SCC2S
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.experiments.config import baseline_config
+from repro.metrics.stats import MetricsCollector
+from repro.system.model import RTDBSystem
+from repro.workloads.generator import build_generator
+
+# Enough events to dominate interpreter warmup noise while keeping the
+# benchmark under a second on developer hardware.
+EVENT_BATCH = 200_000
+SCC_TRANSACTIONS = 400
+SCC_ARRIVAL_RATE = 150.0  # the high-contention knee of the fig13 sweep
+
+
+def _drive_event_loop(num_events: int) -> int:
+    sim = Simulator()
+    remaining = [num_events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(0.001, tick)
+
+    # Seed a small fan so the heap holds a realistic mix of times.
+    for i in range(100):
+        sim.schedule(0.001 * (i + 1), tick)
+    sim.run()
+    return sim.events_fired
+
+
+def test_event_loop_throughput(benchmark):
+    fired = benchmark.pedantic(
+        lambda: _drive_event_loop(EVENT_BATCH), rounds=1, iterations=1
+    )
+    assert fired >= EVENT_BATCH
+    benchmark.extra_info["events_fired"] = fired
+    benchmark.extra_info["events_per_sec"] = round(fired / benchmark.stats.stats.min)
+
+
+def _run_scc_cell() -> RTDBSystem:
+    config = baseline_config(
+        num_transactions=SCC_TRANSACTIONS,
+        warmup_commits=40,
+        replications=1,
+        arrival_rates=(SCC_ARRIVAL_RATE,),
+        check_serializability=False,
+    )
+    generator = build_generator(config, SCC_ARRIVAL_RATE, RandomStreams(config.seed))
+    system = RTDBSystem(
+        protocol=SCC2S(),
+        num_pages=config.num_pages,
+        metrics=MetricsCollector(warmup_commits=config.warmup_commits),
+        record_history=False,
+    )
+    system.load_workload(generator.generate(config.num_transactions))
+    system.run()
+    return system
+
+
+def test_scc_step_loop_throughput(benchmark):
+    system = benchmark.pedantic(_run_scc_cell, rounds=1, iterations=1)
+    # Every transaction must have committed (soft deadlines), or the run
+    # measured a broken simulation rather than the hot path.
+    assert system.committed_count == SCC_TRANSACTIONS
+    fired = system.sim.events_fired
+    benchmark.extra_info["events_fired"] = fired
+    benchmark.extra_info["events_per_sec"] = round(fired / benchmark.stats.stats.min)
+    benchmark.extra_info["restarts"] = system.metrics.restarts

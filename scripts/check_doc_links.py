@@ -1,0 +1,95 @@
+"""Validate intra-repo links in the documentation.
+
+Scans Markdown files (README.md, PAPER.md, SCENARIOS.md, everything
+under docs/, and benchmarks/README.md) for:
+
+* inline links ``[text](target)`` whose target is a relative path —
+  each must resolve to an existing file or directory (anchors and
+  ``http(s)://`` / ``mailto:`` targets are skipped);
+* backtick-quoted repo paths like ``src/repro/core/scc_base.py`` in
+  PAPER.md's protocol map — each must exist.
+
+Run from anywhere::
+
+    python scripts/check_doc_links.py
+
+Exit codes: 0 OK, 1 broken link(s) found.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown files and directories (searched recursively) to scan.
+DOC_SOURCES = (
+    "README.md",
+    "PAPER.md",
+    "SCENARIOS.md",
+    "benchmarks/README.md",
+    "docs",
+)
+
+_INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Backtick-quoted tokens that look like repo paths (contain a slash and
+# an extension or a trailing slash) — PAPER.md's module map style.
+_CODE_PATH = re.compile(r"`((?:src|tests|benchmarks|scripts|examples|docs)/[^`\s]*)`")
+
+
+def _iter_markdown_files() -> list[str]:
+    files: list[str] = []
+    for source in DOC_SOURCES:
+        path = os.path.join(REPO_ROOT, source)
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, _dirnames, filenames in os.walk(path):
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".md")
+                )
+    return files
+
+
+def _check_target(md_file: str, target: str) -> bool:
+    """Whether a relative link target resolves inside the repository."""
+    resolved = os.path.normpath(os.path.join(os.path.dirname(md_file), target))
+    return os.path.exists(resolved)
+
+
+def main() -> int:
+    broken: list[str] = []
+    for md_file in _iter_markdown_files():
+        rel_md = os.path.relpath(md_file, REPO_ROOT)
+        with open(md_file) as fh:
+            text = fh.read()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for match in _INLINE_LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                target = target.split("#", 1)[0]  # strip section anchors
+                if not target:
+                    continue
+                if not _check_target(md_file, target):
+                    broken.append(f"{rel_md}:{lineno}: broken link -> {target}")
+            for match in _CODE_PATH.finditer(line):
+                target = match.group(1).rstrip("/")
+                if "<" in target or "*" in target:
+                    continue  # placeholder/glob, not a concrete path
+                if not os.path.exists(os.path.join(REPO_ROOT, target)):
+                    broken.append(f"{rel_md}:{lineno}: missing path -> {target}")
+    if broken:
+        print("\n".join(broken))
+        print(f"\nFAIL: {len(broken)} broken link(s)/path(s)")
+        return 1
+    print(f"OK: {len(_iter_markdown_files())} markdown file(s), all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

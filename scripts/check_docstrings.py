@@ -1,0 +1,98 @@
+"""Offline docstring-presence checker (mirror of the CI ruff D1 gate).
+
+CI's ``docs`` job runs ``ruff check`` with the ``D1`` (undocumented-*)
+pydocstyle codes scoped to the hot-path packages (``repro.engine``,
+``repro.core``, ``repro.protocols``; see ruff.toml).  This script
+replicates those presence checks with only the standard library, so the
+gate can be run on boxes without ruff installed:
+
+    python scripts/check_docstrings.py
+
+Checked per file: module docstring (D100), public class docstrings
+(D101), public method docstrings (D102), public function docstrings
+(D103), and nested public class docstrings (D106).  Dunder methods are
+exempt (the repo ignores D105) and anything prefixed with ``_`` is
+private by convention.
+
+Exit codes: 0 OK, 1 missing docstrings found.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The packages the documentation gate covers (keep in sync with the
+#: per-file-ignores block of ruff.toml and the CI docs job).
+CHECKED_PACKAGES = (
+    os.path.join("src", "repro", "engine"),
+    os.path.join("src", "repro", "core"),
+    os.path.join("src", "repro", "protocols"),
+)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_in(tree: ast.Module, path: str) -> list[str]:
+    problems: list[str] = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}:1: D100 missing module docstring")
+
+    def walk(node: ast.AST, inside_class: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public(child.name) and ast.get_docstring(child) is None:
+                    code = "D106" if inside_class else "D101"
+                    problems.append(
+                        f"{path}:{child.lineno}: {code} missing docstring "
+                        f"on class {child.name}"
+                    )
+                walk(child, inside_class=True)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+                is_dunder = name.startswith("__") and name.endswith("__")
+                if (
+                    _is_public(name)
+                    and not is_dunder
+                    and ast.get_docstring(child) is None
+                ):
+                    code = "D102" if inside_class else "D103"
+                    kind = "method" if inside_class else "function"
+                    problems.append(
+                        f"{path}:{child.lineno}: {code} missing docstring "
+                        f"on {kind} {name}"
+                    )
+                # Nested defs are private implementation details; skip.
+
+    walk(tree, inside_class=False)
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    for package in CHECKED_PACKAGES:
+        root = os.path.join(REPO_ROOT, package)
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py") or filename == "__init__.py":
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, REPO_ROOT)
+                with open(path) as fh:
+                    tree = ast.parse(fh.read(), filename=rel)
+                problems.extend(_missing_in(tree, rel))
+    if problems:
+        print("\n".join(problems))
+        print(f"\nFAIL: {len(problems)} missing docstring(s)")
+        return 1
+    print("OK: all public classes/functions in the gated packages documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

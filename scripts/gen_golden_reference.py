@@ -1,0 +1,42 @@
+"""Regenerate the golden determinism reference (tests/golden/).
+
+The golden-output test (``tests/golden/test_determinism_golden.py``)
+asserts that fixed-seed simulation runs produce *metric-for-metric
+identical* results across code changes: performance work on the engine,
+core SCC algorithms, or protocols must never change what the simulation
+computes, only how fast it computes it.
+
+This script re-records the reference.  Run it ONLY when a change is
+*meant* to alter simulation results (a new protocol rule, a workload
+semantics change, a metrics fix) — never to paper over an unintended
+divergence introduced by an optimization.  Commit the refreshed JSON with
+an explanation of why the results legitimately changed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_golden_reference.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from tests.golden.golden_common import GOLDEN_PATH, compute_golden_payload  # noqa: E402
+
+
+def main() -> None:
+    payload = compute_golden_payload()
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    runs = sum(len(v["summaries"]) for v in payload["scenarios"].values())
+    print(f"golden reference written to {GOLDEN_PATH} ({runs} protocol sweeps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -64,6 +64,7 @@ class ImmediateCommit(TerminationPolicy):
     """Forward validation: finished shadows commit at once (SCC-kS/2S/CB)."""
 
     def on_finished(self, runtime: "SCCTxnRuntime") -> None:
+        """Commit the finished optimistic shadow immediately."""
         self.protocol.commit_transaction(runtime)
 
 
@@ -75,13 +76,16 @@ class DeferredTermination(TerminationPolicy):
     reshapes everyone else's conflict sets), and keeps a lazy periodic
     tick alive while the pool is non-empty.
 
-    Args:
-        period: The Δ of the paper's special system clock (seconds).
-        evaluate_eagerly: SCC-VW evaluates at finish time and on system
-            changes; SCC-DC (``False``) only at clock ticks.
-        max_deferral: Optional hard cap on how long a finished shadow may
-            be deferred (a safety valve on top of the value math; ``None``
-            disables it).
+    Parameters
+    ----------
+    period : float
+        The Δ of the paper's special system clock (seconds).
+    evaluate_eagerly : bool
+        SCC-VW evaluates at finish time and on system changes; SCC-DC
+        (``False``) only at clock ticks.
+    max_deferral : float, optional
+        Hard cap on how long a finished shadow may be deferred (a safety
+        valve on top of the value math; ``None`` disables it).
     """
 
     def __init__(
@@ -119,6 +123,7 @@ class DeferredTermination(TerminationPolicy):
     # ------------------------------------------------------------------
 
     def on_finished(self, runtime: "SCCTxnRuntime") -> None:
+        """Pool the finished shadow; evaluate now (eager) or await the tick."""
         self._pool[runtime.txn_id] = runtime
         self._finished_at[runtime.txn_id] = self.protocol.system.sim.now
         if self._evaluate_eagerly:
@@ -127,14 +132,17 @@ class DeferredTermination(TerminationPolicy):
             self._ensure_tick()
 
     def on_unfinished(self, runtime: "SCCTxnRuntime") -> None:
+        """Drop a deferred shadow that was aborted before it could commit."""
         self._pool.pop(runtime.txn_id, None)
         self._finished_at.pop(runtime.txn_id, None)
 
     def on_departure(self, runtime: "SCCTxnRuntime") -> None:
+        """Forget a transaction that committed and left the system."""
         self._pool.pop(runtime.txn_id, None)
         self._finished_at.pop(runtime.txn_id, None)
 
     def on_system_change(self) -> None:
+        """Re-evaluate (eager) or re-arm the tick after a processed commit."""
         if self._evaluate_eagerly:
             self._evaluate_pool()
         elif self._pool:
@@ -158,6 +166,8 @@ class DeferredTermination(TerminationPolicy):
         if self._evaluating:
             self._dirty = True
             return
+        if not self._pool:
+            return  # nothing deferred; skip the scan and the tick check
         self._evaluating = True
         try:
             progress = True

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
+from repro.protocols.base import ExecutionState
 from repro.values.distributions import DeterministicExecution, ExecutionDistribution
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -59,7 +60,12 @@ def execution_distribution(runtime: "SCCTxnRuntime") -> ExecutionDistribution:
 
 def mean_execution_time(runtime: "SCCTxnRuntime") -> float:
     """The paper's ``E_C``: the class's average execution time."""
-    return execution_distribution(runtime).mean()
+    dist = runtime.spec.txn_class.execution
+    if dist is not None:
+        return dist.mean()
+    # Equivalent to DeterministicExecution(estimated_duration).mean()
+    # without allocating a distribution per query (this runs per vote).
+    return runtime.spec.estimated_duration
 
 
 def elapsed_execution(
@@ -71,8 +77,6 @@ def elapsed_execution(
     the shadow is mid-service (for a never-blocked optimistic shadow this
     equals ``now - arrival``, the paper's ε for optimistic shadows).
     """
-    from repro.protocols.base import ExecutionState  # local to avoid cycle
-
     base = shadow.pos * step_time
     if (
         now is not None
@@ -116,11 +120,15 @@ def adoption_profiles(
 ) -> dict[int, AdoptionProfile]:
     """Solve Definition 5 for every active transaction.
 
-    Args:
-        protocol: The SCC protocol (gives the runtimes and conflict tables).
-        now: Evaluation time ``t``.
-        exclude: Optional transaction id to treat as already departed
-            (used to evaluate the "committer commits now" world).
+    Parameters
+    ----------
+    protocol : SCCProtocolBase
+        The SCC protocol (gives the runtimes and conflict tables).
+    now : float
+        Evaluation time ``t``.
+    exclude : int, optional
+        Transaction id to treat as already departed (used to evaluate the
+        "committer commits now" world).
     """
     runtimes = {
         rt.txn_id: rt for rt in protocol.runtimes() if rt.txn_id != exclude
@@ -168,10 +176,13 @@ def adoption_profiles(
 class ShadowComponent:
     """One term of Definition 6's expected-finish sum.
 
-    Attributes:
-        probability: Adoption probability of the shadow (``P_j_u``).
-        elapsed: Execution time already performed, or ``None`` for a shadow
-            that has *finished* executing (it commits at the next tick).
+    Attributes
+    ----------
+    probability : float
+        Adoption probability of the shadow (``P_j_u``).
+    elapsed : float or None
+        Execution time already performed, or ``None`` for a shadow that
+        has *finished* executing (it commits at the next tick).
     """
 
     probability: float
@@ -242,8 +253,6 @@ def components_current(
     now: Optional[float] = None,
 ) -> list[ShadowComponent]:
     """Shadow mixture of a transaction in the *defer* world (status quo)."""
-    from repro.protocols.base import ExecutionState  # local to avoid cycle
-
     components = []
     optimistic = runtime.optimistic
     if optimistic.state is ExecutionState.FINISHED:
@@ -284,8 +293,6 @@ def components_after_commit(
     or a from-scratch restart).  ``profile`` must have been computed with
     ``exclude=committer.txn_id``.
     """
-    from repro.protocols.base import ExecutionState  # local to avoid cycle
-
     written = protocol.index.written_by(committer.txn_id)
     optimistic = runtime.optimistic
     exposed = optimistic.has_read_any(written)

@@ -24,9 +24,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class ReplacementPolicy(ABC):
-    """Chooses which conflicts a transaction's shadow budget covers."""
+    """Chooses which conflicts a transaction's shadow budget covers.
+
+    Attributes
+    ----------
+    name : str
+        Registry/display name of the policy.
+    time_invariant : bool
+        ``True`` when :meth:`order` depends only on the conflict records
+        and static transaction attributes — never on the current simulated
+        time.  The SCC commit path uses this to skip provably no-op
+        speculation rebuilds; policies whose ordering can drift over time
+        (e.g. value functions decaying past deadlines) must leave it
+        ``False``.
+    """
 
     name: str = "abstract"
+    time_invariant: bool = False
 
     @abstractmethod
     def order(
@@ -57,8 +71,10 @@ class LatestBlockedFirstOut(ReplacementPolicy):
     """Keep the earliest blocking points (the paper's LBFO policy)."""
 
     name = "lbfo"
+    time_invariant = True
 
     def order(self, runtime, records, protocol, now):
+        """Sort by ``(first_pos, writer)`` — earliest blocking point first."""
         return sorted(records, key=lambda r: (r.first_pos, r.writer))
 
 
@@ -71,8 +87,10 @@ class DeadlineAwareReplacement(ReplacementPolicy):
     """
 
     name = "deadline"
+    time_invariant = True  # deadlines are static per transaction
 
     def order(self, runtime, records, protocol, now):
+        """Sort by the conflicting writer's (static) deadline, EDF-style."""
         def key(record: ConflictRecord):
             writer = protocol.runtime_of(record.writer)
             deadline = writer.spec.deadline if writer else float("inf")
@@ -90,8 +108,11 @@ class ValueAwareReplacement(ReplacementPolicy):
     """
 
     name = "value"
+    # NOT time_invariant: value functions decay with simulated time, so the
+    # ordering can change between rebuilds even with unchanged conflicts.
 
     def order(self, runtime, records, protocol, now):
+        """Sort by the writer's value *at the current time*, highest first."""
         def key(record: ConflictRecord):
             writer = protocol.runtime_of(record.writer)
             value = writer.spec.value_function(now) if writer else 0.0

@@ -59,14 +59,21 @@ from repro.txn.spec import Step, TransactionSpec
 class SCCTxnRuntime:
     """Per-transaction SCC state.
 
-    Attributes:
-        spec: The transaction.
-        optimistic: The unique optimistic shadow (always present).
-        speculatives: writer txn id -> speculative shadow accounting for
-            the conflict with that writer.
-        conflicts: The transaction's conflict table (it is the *reader*).
-        restarts: Times the transaction lost all shadows and started over.
-        deferred: Whether a finished shadow's commitment was ever deferred.
+    Attributes
+    ----------
+    spec : TransactionSpec
+        The transaction.
+    optimistic : Shadow
+        The unique optimistic shadow (always present).
+    speculatives : dict[int, Shadow]
+        writer txn id -> speculative shadow accounting for the conflict
+        with that writer.
+    conflicts : ConflictTable
+        The transaction's conflict table (it is the *reader*).
+    restarts : int
+        Times the transaction lost all shadows and started over.
+    deferred : bool
+        Whether a finished shadow's commitment was ever deferred.
     """
 
     spec: TransactionSpec
@@ -75,11 +82,12 @@ class SCCTxnRuntime:
     conflicts: ConflictTable = field(default_factory=ConflictTable)
     restarts: int = 0
     deferred: bool = False
+    #: The transaction's id (denormalized from ``spec`` — read on every
+    #: step of every shadow, so a plain attribute, not a property).
+    txn_id: int = field(init=False)
 
-    @property
-    def txn_id(self) -> int:
-        """The transaction's id."""
-        return self.spec.txn_id
+    def __post_init__(self) -> None:
+        self.txn_id = self.spec.txn_id
 
     def live_shadows(self) -> list[Shadow]:
         """The optimistic shadow plus all live speculative shadows."""
@@ -104,6 +112,12 @@ class SCCProtocolBase(CCProtocol):
         self._index = AccessIndex()
         self._termination = termination or ImmediateCommit()
         self._termination.bind(self)
+        #: Whether :meth:`_desired_coverage` is a pure function of the
+        #: conflict records (no dependence on the simulated clock).  The
+        #: base default coverage (empty) trivially is; subclasses with a
+        #: replacement policy must set this from the policy's
+        #: ``time_invariant`` flag.  Enables the commit-path rebuild skip.
+        self._coverage_time_invariant = True
         #: Optional shadow-lifecycle observer: a callable
         #: ``(kind, txn_id, shadow_or_None)`` invoked on "spawn", "block",
         #: "promote", "restart", "kill", "finish", and "commit" events.
@@ -174,6 +188,12 @@ class SCCProtocolBase(CCProtocol):
     # ------------------------------------------------------------------
 
     def on_arrival(self, txn: TransactionSpec) -> None:
+        """Apply the Start Rule: create and start the optimistic shadow.
+
+        Invariant established: every active transaction has exactly one
+        live optimistic shadow at all times (replacements promote or
+        restart before the old one's death is visible).
+        """
         optimistic = Shadow(txn, ShadowMode.OPTIMISTIC)
         runtime = SCCTxnRuntime(spec=txn, optimistic=optimistic)
         self._runtimes[txn.txn_id] = runtime
@@ -185,24 +205,53 @@ class SCCProtocolBase(CCProtocol):
     # ------------------------------------------------------------------
 
     def before_step(self, execution: Execution, step: Step) -> bool:
+        """Apply the Read Rule (optimistic) or Blocking Rule (speculative).
+
+        Parameters
+        ----------
+        execution : Execution
+            The shadow about to perform ``step`` (must be a
+            :class:`~repro.core.shadow.Shadow`).
+        step : Step
+            The page access about to happen.
+
+        Returns
+        -------
+        bool
+            ``False`` when the Blocking Rule stopped a speculative shadow
+            just before it would read a waited-on writer's page; ``True``
+            to let the access proceed.
+
+        Notes
+        -----
+        Invariant preserved: conflict detection runs *before* the exposing
+        read, so a shadow forked here can still block ahead of it — the
+        paper's "forked off T_o_r" construction.
+        """
         shadow = self._as_shadow(execution)
         runtime = self._runtimes[shadow.txn.txn_id]
+        page = step.page
         if shadow.mode is ShadowMode.SPECULATIVE:
             # Blocking Rule: stop before reading anything a waited-on
             # transaction writes.
             for writer in shadow.wait_for:
-                if self._index.writes_page(writer, step.page):
+                if self._index.writes_page(writer, page):
                     self._block(shadow)
                     self._emit("block", shadow.txn.txn_id, shadow)
                     return False
             return True
         # Optimistic shadow: Read Rule conflict detection, *before* the
         # exposing read, so a forked shadow can still block ahead of it.
+        # The writer view is the precomputed page index — no copy, no scan;
+        # conflicts.record never mutates the index, so iterating the live
+        # set is safe.
         changed = False
-        for writer in self._index.writers_of(step.page):
-            if writer == runtime.txn_id:
+        txn_id = runtime.txn_id
+        conflicts = runtime.conflicts
+        for writer in self._index.writers_view(page):
+            if writer == txn_id:
                 continue
-            if runtime.conflicts.record(writer, step.page, shadow.pos):
+            if conflicts.record(writer, page, shadow.pos):
                 changed = True
         if changed:
             self._rebuild_speculation(runtime)
@@ -213,21 +262,41 @@ class SCCProtocolBase(CCProtocol):
     # ------------------------------------------------------------------
 
     def after_step(self, execution: Execution, step: Step) -> None:
+        """Apply the Write Rule and the completion-time Read Rule re-check.
+
+        Parameters
+        ----------
+        execution : Execution
+            The shadow whose access just completed (already recorded in
+            its read/write sets).
+        step : Step
+            The completed access.
+
+        Notes
+        -----
+        Invariants preserved: the global :class:`AccessIndex` learns of
+        the read *here* (completion time), so detection windows opened
+        while the read was in flight are re-checked; a write is broadcast
+        to every prior reader's conflict table exactly once (first write
+        of the page by this transaction).
+        """
         shadow = self._as_shadow(execution)
         runtime = self._runtimes[shadow.txn.txn_id]
         txn_id = runtime.txn_id
-        record = shadow.readset[step.page]
-        self._index.add_read(txn_id, step.page, record.position)
+        index = self._index
+        page = step.page
+        record = shadow.readset[page]
+        position = record.position
+        index.add_read(txn_id, page, position)
         # Read Rule, completion-time half: a write recorded while this read
         # was in flight (after our before_step check, before completion)
         # would be missed by both the before_step RAW check and the
         # writer's WAR check (our read was not yet recorded).  Re-checking
         # here closes that window; the conflict table is idempotent.
         changed = False
-        for writer in self._index.writers_of(step.page):
-            if writer != txn_id and runtime.conflicts.record(
-                writer, step.page, record.position
-            ):
+        conflicts = runtime.conflicts
+        for writer in index.writers_view(page):
+            if writer != txn_id and conflicts.record(writer, page, position):
                 changed = True
         # A speculative shadow may have completed a read of a page its
         # *waited* writer wrote while the read was in flight: the writer's
@@ -236,11 +305,11 @@ class SCCProtocolBase(CCProtocol):
         # (no "change").  The shadow is now exposed to its own wait set —
         # force a rebuild so it is replaced (paper Figure 5 semantics).
         if (
-            shadow.mode is ShadowMode.SPECULATIVE
+            not changed
+            and shadow.mode is ShadowMode.SPECULATIVE
             and shadow.alive
             and any(
-                self._index.writes_page(writer, step.page)
-                for writer in shadow.wait_for
+                index.writes_page(writer, page) for writer in shadow.wait_for
             )
         ):
             changed = True
@@ -248,20 +317,23 @@ class SCCProtocolBase(CCProtocol):
             self._rebuild_speculation(runtime)
         if not step.is_write:
             return
-        newly_written = not self._index.writes_page(txn_id, step.page)
-        self._index.add_write(txn_id, step.page)
+        newly_written = not index.writes_page(txn_id, page)
+        index.add_write(txn_id, page)
         if not newly_written:
             return
         # Write Rule: this transaction's write conflicts with everyone who
-        # already read the page.
-        for reader in self._index.readers_of(step.page):
+        # already read the page.  This loop iterates the copying accessor
+        # deliberately: rebuild side effects below schedule events, so the
+        # iteration order is part of the deterministic result and must
+        # match the set-copy order the golden reference was recorded under.
+        for reader in index.readers_of(page):
             if reader == txn_id:
                 continue
             other = self._runtimes.get(reader)
             if other is None:
                 continue
-            position = self._index.first_read_position(reader, step.page)
-            if other.conflicts.record(txn_id, step.page, position):
+            position = index.first_read_position(reader, page)
+            if other.conflicts.record(txn_id, page, position):
                 self._rebuild_speculation(other)
 
     # ------------------------------------------------------------------
@@ -333,6 +405,12 @@ class SCCProtocolBase(CCProtocol):
     # ------------------------------------------------------------------
 
     def on_finished(self, execution: Execution) -> None:
+        """Hand a finished optimistic shadow to the Termination Rule.
+
+        Invariant checked: only optimistic shadows can run to completion —
+        a speculative shadow must hit its Blocking Rule point first (its
+        wait set wrote a page its program reads, by construction).
+        """
         shadow = self._as_shadow(execution)
         if shadow.mode is not ShadowMode.OPTIMISTIC:
             raise InvariantViolation(
@@ -369,14 +447,36 @@ class SCCProtocolBase(CCProtocol):
     def _process_commit_effects(
         self, runtime: SCCTxnRuntime, committer_id: int, write_pages: set[int]
     ) -> None:
-        """Kill exposed shadows of one transaction and promote/restart."""
-        runtime.conflicts.remove_writer(committer_id)
+        """Kill exposed shadows of one transaction and promote/restart.
+
+        Parameters
+        ----------
+        runtime : SCCTxnRuntime
+            An active transaction other than the committer.
+        committer_id : int
+            The transaction that just committed.
+        write_pages : set of int
+            The committer's installed write set; any shadow that read one
+            of these pages is exposed and must die (Commit Rule).
+
+        Notes
+        -----
+        The closing speculation rebuild is skipped when provably a no-op:
+        nothing about this runtime changed (no conflict removed, no shadow
+        killed, no promotion) and the coverage policy is time-invariant.
+        New conflicts always trigger an eager rebuild at detection time
+        (Read/Write Rules) and shadow exposure to its *own* wait set is
+        reaped eagerly in ``after_step``, so an unchanged runtime's desired
+        coverage is exactly its current coverage.
+        """
+        changed = runtime.conflicts.remove_writer(committer_id)
         for writer, speculative in list(runtime.speculatives.items()):
             if speculative.has_read_any(write_pages):
                 del runtime.speculatives[writer]
                 if speculative.alive:
                     self._emit("kill", runtime.txn_id, speculative)
                 self._kill(speculative)
+                changed = True
         optimistic = runtime.optimistic
         if optimistic.has_read_any(write_pages):
             was_finished = optimistic.state is ExecutionState.FINISHED
@@ -385,7 +485,9 @@ class SCCProtocolBase(CCProtocol):
             if was_finished:
                 self._termination.on_unfinished(runtime)
             self._adopt_replacement(runtime, committer_id)
-        self._rebuild_speculation(runtime)
+            changed = True
+        if changed or not self._coverage_time_invariant:
+            self._rebuild_speculation(runtime)
 
     def _adopt_replacement(self, runtime: SCCTxnRuntime, committer_id: int) -> None:
         """Promote the latest-blocked survivor, or restart from scratch."""

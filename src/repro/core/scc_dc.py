@@ -55,6 +55,14 @@ class DCTermination(DeferredTermination):
         self.epsilon = epsilon
 
     def should_commit(self, runtime: SCCTxnRuntime, now: float) -> bool:
+        """Compare ``V_now`` against ``V_later`` per the §3.2 Termination Rule.
+
+        ``V_later`` is the expected value of deferring (Definitions 6-7,
+        evaluated over the Δ-tick grid from the shadows' finish
+        probabilities); ``V_now`` adds the conflicting partners' expected
+        values in the "committer commits now" world.  Returns ``True``
+        when deferring no longer buys expected value.
+        """
         protocol = self.protocol
         step_time = protocol.system.resources.step_service_time
         partners = self._partners(runtime)
@@ -131,12 +139,18 @@ class DCTermination(DeferredTermination):
 class SCCDC(SCCkS):
     """SCC with Deferred Commit: SCC-kS plus the §3.2 Termination Rule.
 
-    Args:
-        k: Shadow budget (as SCC-kS); ``None`` = unlimited.
-        period: The Δ of the termination clock, in seconds.
-        epsilon: Truncation error bound for the ``l_i`` horizons.
-        max_deferral: Optional hard cap on deferral time (safety valve).
-        replacement: Shadow replacement policy (LBFO by default).
+    Parameters
+    ----------
+    k : int, optional
+        Shadow budget (as SCC-kS); ``None`` = unlimited.
+    period : float
+        The Δ of the termination clock, in seconds.
+    epsilon : float
+        Truncation error bound for the ``l_i`` horizons.
+    max_deferral : float, optional
+        Hard cap on deferral time (safety valve).
+    replacement : ReplacementPolicy, optional
+        Shadow replacement policy (LBFO by default).
     """
 
     name = "SCC-DC"

@@ -27,13 +27,18 @@ from repro.txn.spec import TransactionSpec
 class SCCkS(SCCProtocolBase):
     """The k-shadow SCC algorithm.
 
-    Args:
-        k: Shadow budget per transaction (optimistic + ``k-1`` speculative).
-            ``None`` means unlimited (conflict-based SCC).
-        replacement: Policy selecting which conflicts get shadows.
-        termination: When finished shadows commit (immediate by default).
-        k_for: Optional per-transaction budget override; receives the spec
-            and returns that transaction's ``k`` (or ``None`` = unlimited).
+    Parameters
+    ----------
+    k : int, optional
+        Shadow budget per transaction (optimistic + ``k-1`` speculative).
+        ``None`` means unlimited (conflict-based SCC).
+    replacement : ReplacementPolicy, optional
+        Policy selecting which conflicts get shadows.
+    termination : TerminationPolicy, optional
+        When finished shadows commit (immediate by default).
+    k_for : Callable, optional
+        Per-transaction budget override; receives the spec and returns
+        that transaction's ``k`` (or ``None`` = unlimited).
     """
 
     name = "SCC-kS"
@@ -50,6 +55,9 @@ class SCCkS(SCCProtocolBase):
             raise ConfigurationError(f"k must be >= 1 (got {k})")
         self.k = k
         self.replacement = replacement or LatestBlockedFirstOut()
+        self._coverage_time_invariant = getattr(
+            self.replacement, "time_invariant", False
+        )
         self._k_for = k_for
         if k is not None and k_for is None:
             self.name = f"SCC-{k}S" if k != 2 else "SCC-2S"
@@ -66,10 +74,28 @@ class SCCkS(SCCProtocolBase):
         return k - 1
 
     def _desired_coverage(self, runtime: SCCTxnRuntime) -> list[int]:
+        """Select the conflicts the shadow budget covers, most urgent first.
+
+        Parameters
+        ----------
+        runtime : SCCTxnRuntime
+            The transaction whose speculation is being rebuilt.
+
+        Returns
+        -------
+        list of int
+            Writer ids to keep speculative shadows for, in spawn order.
+        """
         budget = self.budget_for(runtime.spec)
         if budget == 0:
             return []
         records = runtime.conflicts.records()
-        now = self.system.sim.now if self.system is not None else 0.0
-        selected = self.replacement.select(runtime, records, budget, self, now)
+        # Fast path: ConflictTable.records() is already sorted by
+        # (first_pos, writer), which is exactly LBFO's order — skip the
+        # redundant re-sort on the default policy.
+        if type(self.replacement) is LatestBlockedFirstOut:
+            selected = records if budget is None else records[:budget]
+        else:
+            now = self.system.sim.now if self.system is not None else 0.0
+            selected = self.replacement.select(runtime, records, budget, self, now)
         return [record.writer for record in selected]

@@ -56,24 +56,51 @@ class VWTermination(DeferredTermination):
         self.commit_threshold = commit_threshold
 
     def should_commit(self, runtime: SCCTxnRuntime, now: float) -> bool:
+        """Evaluate the commit indicator ``CI_u`` (Definitions 9-10).
+
+        Parameters
+        ----------
+        runtime : SCCTxnRuntime
+            The finished transaction whose commitment is being decided.
+        now : float
+            Current simulated time (votes are time-dependent through the
+            value functions).
+
+        Returns
+        -------
+        bool
+            ``True`` when the value-weighted commit votes exceed the
+            commit threshold (or no executing conflicting transaction is
+            left to wait for).
+        """
         voters = self._executing_partners(runtime)
         if not voters:
             # Every conflicting transaction is itself finished/deferred;
             # nobody is left to wait for.
             return True
-        weights = {
-            voter.txn_id: max(voter.spec.value_function(now), 0.0)
+        weighted = [
+            (voter, max(voter.spec.value_function(now), 0.0))
             for voter in voters
-        }
-        total_weight = sum(weights.values())
+        ]
+        total_weight = sum(weight for _, weight in weighted)
         if total_weight <= 0.0:
             # All voters are past their break-even point; deferring for
             # them cannot add value.
             return True
+        # Hoist the per-committer constants out of the per-voter vote:
+        # the electorate re-votes on every finish/commit/tick, so this
+        # loop runs orders of magnitude more often than transactions
+        # commit.
+        protocol = self.protocol
+        step_time = protocol.system.resources.step_service_time
+        v_u = runtime.spec.value_function
+        mean_u = mean_execution_time(runtime)
         indicator = 0.0
-        for voter in voters:
-            if self._commit_vote(runtime, voter, now):
-                indicator += weights[voter.txn_id] / total_weight
+        for voter, weight in weighted:
+            if self._commit_vote(
+                runtime, voter, now, protocol, step_time, v_u, mean_u
+            ):
+                indicator += weight / total_weight
         return indicator > self.commit_threshold
 
     # ------------------------------------------------------------------
@@ -81,13 +108,22 @@ class VWTermination(DeferredTermination):
     # ------------------------------------------------------------------
 
     def _commit_vote(
-        self, finished: SCCTxnRuntime, voter: SCCTxnRuntime, now: float
+        self,
+        finished: SCCTxnRuntime,
+        voter: SCCTxnRuntime,
+        now: float,
+        protocol,
+        step_time: float,
+        v_u,
+        mean_u: float,
     ) -> bool:
-        protocol = self.protocol
-        step_time = protocol.system.resources.step_service_time
-        v_u = finished.spec.value_function
+        """Cast one transaction's commit-now vs defer vote (Definition 8).
+
+        The trailing parameters are per-committer constants hoisted by
+        :meth:`should_commit` (the only caller), which re-votes the whole
+        electorate on every finish/commit/tick.
+        """
         v_i = voter.spec.value_function
-        mean_u = mean_execution_time(finished)
         mean_i = mean_execution_time(voter)
         eps_opt_i = elapsed_execution(voter.optimistic, step_time, now)
 
@@ -155,13 +191,19 @@ class VWTermination(DeferredTermination):
 class SCCVW(SCCkS):
     """SCC with Voted Waiting: SCC-kS plus the §3.3 Termination Rule.
 
-    Args:
-        k: Shadow budget (as SCC-kS); defaults to the two-shadow setting
-            the paper's evaluation uses.
-        period: Re-evaluation backstop period Δ in seconds.
-        commit_threshold: The 50% commit-indicator threshold.
-        max_deferral: Optional hard deferral cap (safety valve).
-        replacement: Shadow replacement policy (LBFO by default).
+    Parameters
+    ----------
+    k : int, optional
+        Shadow budget (as SCC-kS); defaults to the two-shadow setting the
+        paper's evaluation uses.
+    period : float
+        Re-evaluation backstop period Δ in seconds.
+    commit_threshold : float
+        The 50% commit-indicator threshold.
+    max_deferral : float, optional
+        Hard deferral cap (safety valve).
+    replacement : ReplacementPolicy, optional
+        Shadow replacement policy (LBFO by default).
     """
 
     name = "SCC-VW"

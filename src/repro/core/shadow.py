@@ -18,6 +18,14 @@ child pays normal service time for every further step it executes.  A
 shadow forked behind its blocking point therefore "catches up" step by
 step, which is exactly the cost the Write Rule discussion around the
 paper's Figure 4 attributes to forking from an earlier execution point.
+
+Shadows are slotted objects (no per-instance ``__dict__``): SCC churns
+through thousands of them per run (every conflict forks one, every
+replacement kills one), so allocation size and attribute-access cost are
+hot.  The globally monotone ``serial`` assigned at construction is the
+deterministic tie-break for donor selection and promotion; any future
+shadow pooling must keep assigning fresh serials on reuse or replay
+determinism breaks.
 """
 
 from __future__ import annotations
@@ -38,13 +46,31 @@ class ShadowMode(enum.Enum):
 class Shadow(Execution):
     """One shadow execution of a transaction.
 
-    Attributes:
-        mode: Optimistic or speculative.
-        wait_for: Transaction ids whose commits this shadow speculates will
-            precede its own transaction's commit (empty for optimistic).
-        forked_at: Program position the shadow was created at (0 for a
-            from-scratch execution); useful for instrumentation and tests.
+    Parameters
+    ----------
+    txn : TransactionSpec
+        The transaction the shadow replays.
+    mode : ShadowMode
+        Optimistic or speculative.
+    wait_for : frozenset of int, optional
+        Transaction ids whose commits this shadow speculates will precede
+        its own transaction's commit (empty for optimistic).
+    start_pos : int, optional
+        Program position the shadow starts from (0 for a from-scratch
+        execution).
+
+    Attributes
+    ----------
+    mode : ShadowMode
+        Optimistic or speculative.
+    wait_for : frozenset of int
+        The speculated wait set.
+    forked_at : int
+        Program position the shadow was created at; useful for
+        instrumentation and tests.
     """
+
+    __slots__ = ("mode", "wait_for", "forked_at")
 
     def __init__(
         self,
@@ -59,16 +85,37 @@ class Shadow(Execution):
         self.forked_at = start_pos
 
     def fork(self, mode: ShadowMode, wait_for: frozenset[int]) -> "Shadow":
-        """Instantaneously duplicate this shadow's execution state."""
+        """Instantaneously duplicate this shadow's execution state.
+
+        Parameters
+        ----------
+        mode : ShadowMode
+            Role of the child shadow.
+        wait_for : frozenset of int
+            The child's speculated wait set.
+
+        Returns
+        -------
+        Shadow
+            A READY child positioned at the donor's current step with
+            copies of the donor's read/write sets and zero accumulated
+            ``work`` (the inherited prefix was paid for by the donor —
+            the SCC invariant behind the wasted-work metric).
+        """
         child = Shadow(self.txn, mode, wait_for, start_pos=self.pos)
-        child.pos = self.pos
-        child.readset = dict(self.readset)
-        child.writeset = dict(self.writeset)
-        child.forked_at = self.pos
+        child.readset = self.readset.copy()
+        child.writeset = self.writeset.copy()
         return child
 
     def promote(self) -> None:
-        """Adopt this shadow as the transaction's optimistic shadow."""
+        """Adopt this shadow as the transaction's optimistic shadow.
+
+        Notes
+        -----
+        Clears the wait set: the promoted shadow now speculates the
+        optimistic assumption (its transaction commits first among its
+        remaining conflicts), per the paper's Commit Rule.
+        """
         self.mode = ShadowMode.OPTIMISTIC
         self.wait_for = frozenset()
 
@@ -80,5 +127,5 @@ class Shadow(Execution):
         wait = f", waits={sorted(self.wait_for)}" if self.wait_for else ""
         return (
             f"Shadow(T{self.txn.txn_id}, {self.mode.value}, "
-            f"pos={self.pos}/{len(self.txn.steps)}, {self.state.value}{wait})"
+            f"pos={self.pos}/{self.num_steps}, {self.state.value}{wait})"
         )

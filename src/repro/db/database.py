@@ -47,15 +47,47 @@ class Database:
     def read(self, page_id: int) -> tuple[int, int]:
         """Read the committed state of a page.
 
-        Returns:
+        Parameters
+        ----------
+        page_id : int
+            Page to read; must be in ``[0, num_pages)``.
+
+        Returns
+        -------
+        tuple of (int, int)
             ``(value, version)`` of the last committed install.
+
+        Raises
+        ------
+        KeyError
+            If the id is out of range.
         """
         page = self.page(page_id)
         return page.value, page.version
 
     def version(self, page_id: int) -> int:
-        """Return the committed version counter of a page."""
-        return self.page(page_id).version
+        """Return the committed version counter of a page.
+
+        Parameters
+        ----------
+        page_id : int
+            Page to query; must be in ``[0, num_pages)``.
+
+        Returns
+        -------
+        int
+            Number of committed installs of the page so far.
+
+        Raises
+        ------
+        KeyError
+            If the id is out of range.
+        """
+        # Inlined bounds check: this is the one per-access query on the
+        # step loop's hot path (see CCProtocol._complete_step).
+        if 0 <= page_id < self.num_pages:
+            return self._pages[page_id].version
+        raise KeyError(f"page id {page_id} out of range [0, {self.num_pages})")
 
     def install(self, batch: WriteBatch, writer: int) -> None:
         """Atomically install a committed write batch.

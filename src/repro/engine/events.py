@@ -5,10 +5,19 @@ makes ordering total and deterministic: two events scheduled for the same
 instant fire in the order they were scheduled, which keeps whole simulation
 runs bit-for-bit reproducible for a given seed.
 
-Cancellation is lazy: :meth:`Event.cancel` marks the event dead and the
-queue skips dead entries on pop.  This is O(1) per cancellation and avoids
-re-heapifying, at the cost of dead entries lingering until popped — the
-standard idiom for simulation queues.
+Performance notes (this queue is the hottest structure in the library —
+every simulated page access passes through it twice):
+
+* Heap entries are ``(time, priority, sequence, event)`` tuples, not
+  :class:`Event` objects.  Tuple comparison runs entirely in C and the
+  unique sequence number guarantees the ``event`` element is never
+  compared, so a push/pop pays zero Python-level ``__lt__`` calls.
+* Cancellation is lazy: :meth:`Event.cancel` marks the event dead and the
+  queue skips dead entries on pop.  This is O(1) per cancellation and
+  avoids re-heapifying, at the cost of dead entries lingering until
+  popped — the standard idiom for simulation queues.
+* :meth:`pop_due` fuses the simulator loop's peek-then-pop pair into one
+  heap traversal.
 """
 
 from __future__ import annotations
@@ -22,12 +31,20 @@ from repro.errors import SimulationError
 class Event:
     """A scheduled callback.
 
-    Attributes:
-        time: Simulated time at which the callback fires.
-        priority: Tie-breaker fired before ``sequence``; lower fires first.
-            Protocols use this to order same-instant activities (e.g. commit
-            processing before new arrivals).
-        callback: Callable invoked as ``callback(*args)`` when the event fires.
+    Attributes
+    ----------
+    time : float
+        Simulated time at which the callback fires.
+    priority : int
+        Tie-breaker fired before ``sequence``; lower fires first.
+        Protocols use this to order same-instant activities (e.g. commit
+        processing before new arrivals).
+    sequence : int
+        Scheduling order; makes event ordering total and deterministic.
+    callback : Callable
+        Callable invoked as ``callback(*args)`` when the event fires.
+    args : tuple
+        Positional arguments forwarded to the callback.
     """
 
     __slots__ = ("time", "priority", "sequence", "callback", "args", "_cancelled")
@@ -57,6 +74,11 @@ class Event:
         self._cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
+        """Order events by ``(time, priority, sequence)``.
+
+        Kept for API compatibility (e.g. sorting event lists in tests);
+        the queue itself compares tuple entries and never calls this.
+        """
         return (self.time, self.priority, self.sequence) < (
             other.time,
             other.priority,
@@ -72,8 +94,10 @@ class Event:
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_sequence", "_live")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._live = 0
 
@@ -91,38 +115,130 @@ class EventQueue:
         *args: Any,
         priority: int = 0,
     ) -> Event:
-        """Schedule ``callback(*args)`` at ``time`` and return its handle."""
-        event = Event(time, priority, self._sequence, callback, args)
-        self._sequence += 1
+        """Schedule ``callback(*args)`` at ``time`` and return its handle.
+
+        Parameters
+        ----------
+        time : float
+            Absolute simulated firing time.
+        callback : Callable
+            Invoked as ``callback(*args)`` when the event fires.
+        *args
+            Positional arguments forwarded to the callback.
+        priority : int, optional
+            Same-instant tie-breaker; lower fires first.
+
+        Returns
+        -------
+        Event
+            A handle usable with :meth:`cancel`.
+        """
+        return self.push_at(time, priority, callback, args)
+
+    def push_at(
+        self,
+        time: float,
+        priority: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> Event:
+        """Positional fast path of :meth:`push` (no varargs/kwargs framing).
+
+        Parameters
+        ----------
+        time : float
+            Absolute simulated firing time.
+        priority : int
+            Same-instant tie-breaker; lower fires first.
+        callback : Callable
+            Invoked as ``callback(*args)`` when the event fires.
+        args : tuple
+            Pre-packed positional arguments for the callback.
+
+        Returns
+        -------
+        Event
+            A handle usable with :meth:`cancel`.
+        """
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, priority, sequence, callback, args)
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, sequence, event))
         return event
 
     def pop(self) -> Event:
         """Remove and return the earliest live event.
 
-        Raises:
-            SimulationError: If the queue holds no live events.
+        Returns
+        -------
+        Event
+            The earliest event by ``(time, priority, sequence)``.
+
+        Raises
+        ------
+        SimulationError
+            If the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if not event._cancelled:
                 self._live -= 1
                 return event
         raise SimulationError("pop from an empty event queue")
 
+    def pop_due(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the earliest live event firing at or before ``until``.
+
+        Fuses the peek/pop pair the simulator loop would otherwise perform
+        into a single heap traversal (dead entries are skipped once, not
+        twice).
+
+        Parameters
+        ----------
+        until : float, optional
+            Inclusive time bound; ``None`` means no bound.
+
+        Returns
+        -------
+        Event or None
+            The event, or ``None`` when the queue is drained or the next
+            live event fires after ``until`` (that event stays queued).
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[3]._cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and head[0] > until:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return head[3]
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def cancel(self, event: Event) -> None:
-        """Cancel ``event`` if it is still pending."""
-        if not event.cancelled:
-            event.cancel()
+        """Cancel ``event`` if it is still pending.
+
+        Parameters
+        ----------
+        event : Event
+            Handle returned by :meth:`push`.  Cancelling a fired or
+            already-cancelled event is a no-op.
+        """
+        if not event._cancelled:
+            event._cancelled = True
             self._live -= 1
 
     def clear(self) -> None:

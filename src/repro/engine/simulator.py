@@ -5,6 +5,12 @@ model components (workload generator, resource manager, concurrency-control
 protocol) interact with simulated time exclusively through
 :meth:`Simulator.schedule` / :meth:`Simulator.cancel`, which keeps them
 trivially composable and testable.
+
+The :meth:`Simulator.run` loop is the single hottest frame of every
+experiment sweep; it drives the queue through
+:meth:`~repro.engine.events.EventQueue.pop_due` (one fused heap traversal
+per event instead of a peek/pop pair) and keeps all per-event state in
+locals.
 """
 
 from __future__ import annotations
@@ -18,9 +24,13 @@ from repro.errors import SimulationError
 class Simulator:
     """Discrete-event simulation loop.
 
-    Attributes:
-        now: Current simulated time (seconds).  Starts at 0.0.
+    Attributes
+    ----------
+    now : float
+        Current simulated time (seconds).  Starts at 0.0.
     """
+
+    __slots__ = ("now", "_queue", "_running", "_events_fired")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -47,21 +57,30 @@ class Simulator:
     ) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
 
-        Args:
-            delay: Non-negative offset from the current time.
-            callback: Callable invoked when the event fires.
-            *args: Positional arguments forwarded to the callback.
-            priority: Same-instant tie-breaker; lower fires first.
+        Parameters
+        ----------
+        delay : float
+            Non-negative offset from the current time.
+        callback : Callable
+            Callable invoked when the event fires.
+        *args
+            Positional arguments forwarded to the callback.
+        priority : int, optional
+            Same-instant tie-breaker; lower fires first.
 
-        Returns:
-            An :class:`Event` handle usable with :meth:`cancel`.
+        Returns
+        -------
+        Event
+            A handle usable with :meth:`cancel`.
 
-        Raises:
-            SimulationError: If ``delay`` is negative or not finite.
+        Raises
+        ------
+        SimulationError
+            If ``delay`` is negative or not finite.
         """
         if not (delay >= 0.0):  # also rejects NaN
             raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
-        return self._queue.push(self.now + delay, callback, *args, priority=priority)
+        return self._queue.push_at(self.now + delay, priority, callback, args)
 
     def schedule_at(
         self,
@@ -70,12 +89,34 @@ class Simulator:
         *args: Any,
         priority: int = 0,
     ) -> Event:
-        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        """Schedule ``callback(*args)`` at absolute simulated ``time``.
+
+        Parameters
+        ----------
+        time : float
+            Absolute firing time; must not precede the current clock.
+        callback : Callable
+            Callable invoked when the event fires.
+        *args
+            Positional arguments forwarded to the callback.
+        priority : int, optional
+            Same-instant tie-breaker; lower fires first.
+
+        Returns
+        -------
+        Event
+            A handle usable with :meth:`cancel`.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` precedes the current clock.
+        """
         if not (time >= self.now):
             raise SimulationError(
                 f"cannot schedule at t={time!r}, which precedes now={self.now!r}"
             )
-        return self._queue.push(time, callback, *args, priority=priority)
+        return self._queue.push_at(time, priority, callback, args)
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event.  Cancelling a fired/cancelled event is a no-op."""
@@ -84,36 +125,37 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Fire events until the queue drains or a bound is hit.
 
-        Args:
-            until: If given, stop once the next event would fire after this
-                time (the clock is still advanced to ``until``).
-            max_events: If given, stop after firing this many events — a
-                guard against accidental non-termination in tests.
+        Parameters
+        ----------
+        until : float, optional
+            If given, stop once the next event would fire after this time
+            (the clock is still advanced to ``until``).
+        max_events : int, optional
+            If given, stop after firing this many events — a guard against
+            accidental non-termination in tests.
 
-        Raises:
-            SimulationError: On re-entrant ``run`` calls.
+        Raises
+        ------
+        SimulationError
+            On re-entrant ``run`` calls.
         """
         if self._running:
             raise SimulationError("Simulator.run is not re-entrant")
         self._running = True
         fired = 0
+        pop_due = self._queue.pop_due
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+            while max_events is None or fired < max_events:
+                event = pop_due(until)
+                if event is None:
                     break
-                if until is not None and next_time > until:
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
-                event = self._queue.pop()
                 self.now = event.time
-                self._events_fired += 1
                 fired += 1
                 event.callback(*event.args)
             if until is not None and self.now < until:
                 self.now = until
         finally:
+            self._events_fired += fired
             self._running = False
 
     def step(self) -> bool:
@@ -125,3 +167,4 @@ class Simulator:
         self._events_fired += 1
         event.callback(*event.args)
         return True
+

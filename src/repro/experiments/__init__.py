@@ -16,7 +16,11 @@ from repro.experiments.parallel import (
     make_executor,
 )
 from repro.experiments.figures import run_scenario
-from repro.experiments.profiling import OnlineProfiler, profile_classes
+from repro.experiments.profiling import (
+    OnlineProfiler,
+    capture_profile,
+    profile_classes,
+)
 from repro.experiments.runner import SweepResult, run_once, run_sweep
 
 __all__ = [

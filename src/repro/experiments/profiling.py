@@ -19,7 +19,10 @@ resource manager is finite (queueing noise) or page costs vary.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import cProfile
+import io
+import pstats
+from typing import Callable, Optional, Sequence
 
 from repro.engine.rng import RandomStreams
 from repro.errors import ConfigurationError
@@ -30,6 +33,39 @@ from repro.system.resources import InfiniteResources, ResourceManager
 from repro.txn.generator import WorkloadGenerator
 from repro.values.classes import TransactionClass
 from repro.values.distributions import EmpiricalExecution
+
+
+def capture_profile(
+    fn: Callable[[], object],
+    sort: str = "tottime",
+    limit: int = 30,
+) -> tuple[object, str]:
+    """Run ``fn`` under ``cProfile`` and return its result plus a report.
+
+    The standard harness for before/after engine profiles: hot-path
+    optimization work captures one profile per candidate change and diffs
+    the reports (see docs/ARCHITECTURE.md's performance section and
+    ``benchmarks/bench_engine_hotpath.py``).
+
+    Args:
+        fn: Zero-argument callable to profile (e.g. a closed-over
+            ``run_fig13(config)`` call).
+        sort: ``pstats`` sort key (``"tottime"``, ``"cumulative"``, ...).
+        limit: Number of rows to include in the report.
+
+    Returns:
+        ``(result, report)`` — whatever ``fn`` returned, and the formatted
+        profile table as a string.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats(sort).print_stats(limit)
+    return result, buffer.getvalue()
 
 
 class OnlineProfiler:

@@ -17,6 +17,16 @@ Stale-callback safety: each execution carries an ``epoch`` bumped on every
 abort/block/resume; a service-completion callback captured under an old
 epoch is ignored.  This makes aborting an execution mid-service trivially
 correct regardless of the resource model.
+
+Hot-path discipline: the step loop runs once per simulated page access —
+hundreds of thousands of times per sweep — so it avoids per-step closure
+allocation (service completions are dispatched as ``(method, execution,
+epoch)``), per-step property lookups (``bind`` caches the system handle,
+the step service time, and the subclass hook methods), and per-step
+re-derivation of program length (cached on the execution).  The hook
+methods are resolved once at ``bind`` time, so protocols must override
+them in the class body, not by assigning instance attributes after
+binding.
 """
 
 from __future__ import annotations
@@ -46,10 +56,14 @@ class ExecutionState(enum.Enum):
 class ReadRecord(NamedTuple):
     """One page read performed by an execution.
 
-    Attributes:
-        position: Program position of the (first) read of this page.
-        version: Committed page version observed.
-        time: Simulated time of the read.
+    Attributes
+    ----------
+    position : int
+        Program position of the (first) read of this page.
+    version : int
+        Committed page version observed.
+    time : float
+        Simulated time of the read.
     """
 
     position: int
@@ -60,23 +74,52 @@ class ReadRecord(NamedTuple):
 class Execution:
     """One replay of a transaction's program.
 
-    Attributes:
-        txn: The transaction specification being replayed.
-        pos: Index of the next step to execute.
-        state: Current :class:`ExecutionState`.
-        readset: page -> :class:`ReadRecord` (first read position, latest
-            version observed).
-        writeset: page -> program position of the write.
-        work: Service time consumed by *this* execution (excludes any
-            prefix inherited from a fork donor); feeds the wasted-work metric.
-        epoch: Bumped on abort/block/resume to invalidate stale callbacks.
+    Attributes
+    ----------
+    txn : TransactionSpec
+        The transaction specification being replayed.
+    pos : int
+        Index of the next step to execute.
+    num_steps : int
+        Cached program length (``len(txn.steps)``); the step loop compares
+        against it on every advance.
+    state : ExecutionState
+        Current lifecycle state.
+    readset : dict[int, ReadRecord]
+        page -> :class:`ReadRecord` (first read position, latest version
+        observed).
+    writeset : dict[int, int]
+        page -> program position of the write.
+    work : float
+        Service time consumed by *this* execution (excludes any prefix
+        inherited from a fork donor); feeds the wasted-work metric.
+    epoch : int
+        Bumped on abort/block/resume to invalidate stale callbacks.
+    serial : int
+        Globally unique creation number; the deterministic tie-break for
+        shadow selection (donor choice, promotion) everywhere in the
+        library.
     """
+
+    __slots__ = (
+        "txn",
+        "pos",
+        "num_steps",
+        "state",
+        "readset",
+        "writeset",
+        "work",
+        "epoch",
+        "step_started_at",
+        "serial",
+    )
 
     _next_serial = 0
 
     def __init__(self, txn: TransactionSpec, start_pos: int = 0) -> None:
         self.txn = txn
         self.pos = start_pos
+        self.num_steps = len(txn.steps)
         self.state = ExecutionState.READY
         self.readset: dict[int, ReadRecord] = {}
         self.writeset: dict[int, int] = {}
@@ -99,15 +142,22 @@ class Execution:
     @property
     def done(self) -> bool:
         """Whether the program is exhausted."""
-        return self.pos >= len(self.txn.steps)
+        return self.pos >= self.num_steps
 
     def current_step(self) -> Step:
-        """The step about to be executed.
+        """Return the step about to be executed.
 
-        Raises:
-            ProtocolError: If the program is already exhausted.
+        Returns
+        -------
+        Step
+            The next page access of the program.
+
+        Raises
+        ------
+        ProtocolError
+            If the program is already exhausted.
         """
-        if self.done:
+        if self.pos >= self.num_steps:
             raise ProtocolError(f"execution of T{self.txn.txn_id} has no current step")
         return self.txn.steps[self.pos]
 
@@ -116,10 +166,20 @@ class Execution:
         return page in self.readset
 
     def has_read_any(self, pages) -> bool:
-        """Whether this execution has read any page in ``pages``."""
-        if len(self.readset) < len(pages):
-            return any(page in pages for page in self.readset)
-        return any(page in self.readset for page in pages)
+        """Whether this execution has read any page in ``pages``.
+
+        Parameters
+        ----------
+        pages : collection of int
+            Pages to probe (any container supporting set disjointness,
+            e.g. a ``set`` of page ids or a writeset's dict keys).
+
+        Returns
+        -------
+        bool
+            ``True`` if the readset intersects ``pages``.
+        """
+        return not self.readset.keys().isdisjoint(pages)
 
     def bump_epoch(self) -> int:
         """Invalidate outstanding service callbacks; returns the new epoch."""
@@ -128,7 +188,7 @@ class Execution:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Execution(T{self.txn.txn_id}, pos={self.pos}/{len(self.txn.steps)}, "
+            f"Execution(T{self.txn.txn_id}, pos={self.pos}/{self.num_steps}, "
             f"{self.state.value})"
         )
 
@@ -144,16 +204,45 @@ class CCProtocol(ABC):
 
     def __init__(self) -> None:
         self.system: Optional["RTDBSystem"] = None
+        # Hot-path caches; refreshed (with the resource handles) by bind().
+        self._resources = None
+        self._step_time = 0.0
+        self._cache_hook_handles()
+
+    def _cache_hook_handles(self) -> None:
+        """Resolve the subclass hook methods once (per-event lookups are hot)."""
+        self._before_step = self.before_step
+        self._after_step = self.after_step
+        self._on_finished = self.on_finished
 
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
 
     def bind(self, system: "RTDBSystem") -> None:
-        """Attach the protocol to a system model.  Called once by the system."""
+        """Attach the protocol to a system model.  Called once by the system.
+
+        Caches the per-event handles the step loop needs (resource manager,
+        step service time, subclass hook methods), so hooks overridden
+        after binding are not picked up.
+
+        Parameters
+        ----------
+        system : RTDBSystem
+            The fully constructed system model (simulator, database, and
+            resource manager already wired).
+
+        Raises
+        ------
+        ProtocolError
+            If the protocol is already bound.
+        """
         if self.system is not None:
             raise ProtocolError(f"protocol {self.name} is already bound")
         self.system = system
+        self._resources = system.resources
+        self._step_time = system.resources.step_service_time
+        self._cache_hook_handles()
 
     def _require_system(self) -> "RTDBSystem":
         if self.system is None:
@@ -166,16 +255,37 @@ class CCProtocol(ABC):
 
     @abstractmethod
     def on_arrival(self, txn: TransactionSpec) -> None:
-        """A new transaction entered the system (the paper's Start Rule)."""
+        """Handle a new transaction entering the system (the Start Rule).
+
+        Parameters
+        ----------
+        txn : TransactionSpec
+            The arriving transaction's program and timing envelope.
+        """
 
     @abstractmethod
     def on_finished(self, execution: Execution) -> None:
-        """An execution exhausted its program (validation/commit point)."""
+        """Handle an execution exhausting its program (validation/commit).
+
+        Parameters
+        ----------
+        execution : Execution
+            The FINISHED execution awaiting a commit decision.
+        """
 
     def before_step(self, execution: Execution, step: Step) -> bool:
-        """Called before ``execution`` performs ``step``.
+        """Decide whether ``execution`` may perform ``step``.
 
-        Returns:
+        Parameters
+        ----------
+        execution : Execution
+            The running execution about to access a page.
+        step : Step
+            The page access about to happen.
+
+        Returns
+        -------
+        bool
             ``True`` to proceed with the access.  ``False`` if the hook
             blocked (or killed) the execution — in that case the hook is
             responsible for the state transition and later resumption.
@@ -183,10 +293,19 @@ class CCProtocol(ABC):
         return True
 
     def after_step(self, execution: Execution, step: Step) -> None:
-        """Called after the access completed and was recorded."""
+        """React to a completed, recorded page access.
+
+        Parameters
+        ----------
+        execution : Execution
+            The execution that performed the access (its read/write sets
+            already include it).
+        step : Step
+            The access that completed.
+        """
 
     def on_drain(self) -> None:
-        """Called when arrivals are exhausted (end-of-run deferral flush)."""
+        """Flush end-of-run state when arrivals are exhausted."""
 
     # ------------------------------------------------------------------
     # step loop (shared machinery)
@@ -197,7 +316,7 @@ class CCProtocol(ABC):
         if not execution.alive:
             raise ProtocolError(f"cannot start dead execution {execution!r}")
         execution.state = ExecutionState.RUNNING
-        execution.bump_epoch()
+        execution.epoch += 1
         self._advance(execution)
 
     def _resume(self, execution: Execution) -> None:
@@ -205,7 +324,7 @@ class CCProtocol(ABC):
         if execution.state is not ExecutionState.BLOCKED:
             raise ProtocolError(f"cannot resume non-blocked execution {execution!r}")
         execution.state = ExecutionState.RUNNING
-        execution.bump_epoch()
+        execution.epoch += 1
         self._advance(execution)
 
     def _block(self, execution: Execution) -> None:
@@ -213,62 +332,73 @@ class CCProtocol(ABC):
         if execution.state is not ExecutionState.RUNNING:
             raise ProtocolError(f"cannot block non-running execution {execution!r}")
         execution.state = ExecutionState.BLOCKED
-        execution.bump_epoch()
+        execution.epoch += 1
 
     def _kill(self, execution: Execution) -> None:
         """Abort an execution, releasing any pending service callback."""
         if execution.state in (ExecutionState.COMMITTED, ExecutionState.ABORTED):
             return
         execution.state = ExecutionState.ABORTED
-        execution.bump_epoch()
+        execution.epoch += 1
         self._require_system().record_execution_abort(execution)
 
     def _advance(self, execution: Execution) -> None:
         """Drive the next step of a running execution (or finish it)."""
-        system = self._require_system()
+        system = self.system
+        if system is None:
+            raise ProtocolError(f"protocol {self.name} is not bound to a system")
         if execution.state is not ExecutionState.RUNNING:
             raise ProtocolError(f"cannot advance {execution!r}")
-        if execution.done:
+        pos = execution.pos
+        if pos >= execution.num_steps:
             execution.state = ExecutionState.FINISHED
-            execution.bump_epoch()
-            self.on_finished(execution)
+            execution.epoch += 1
+            self._on_finished(execution)
             return
-        step = execution.current_step()
-        if not self.before_step(execution, step):
+        step = execution.txn.steps[pos]
+        if not self._before_step(execution, step):
             if execution.state is ExecutionState.RUNNING:
                 raise InvariantViolation(
                     "before_step returned False but left the execution RUNNING"
                 )
             return
-        epoch = execution.epoch
         execution.step_started_at = system.sim.now
-        system.resources.request(
-            execution, lambda: self._complete_step(execution, epoch)
+        self._resources.request(
+            execution, self._complete_step, execution, execution.epoch
         )
 
     def _complete_step(self, execution: Execution, epoch: int) -> None:
-        """Service finished: record the access and keep going."""
+        """Record a serviced access and keep the execution going.
+
+        Parameters
+        ----------
+        execution : Execution
+            The execution whose page access finished service.
+        epoch : int
+            The execution epoch captured when service was requested; a
+            mismatch means the execution was aborted/blocked while in
+            service and the completion is dropped.
+        """
         if execution.epoch != epoch or execution.state is not ExecutionState.RUNNING:
             return  # the execution was aborted/blocked while in service
-        system = self._require_system()
-        step = execution.current_step()
-        _, version = system.db.read(step.page)
-        prior = execution.readset.get(step.page)
+        system = self.system
+        pos = execution.pos
+        step = execution.txn.steps[pos]
+        page = step.page
+        version = system.db.version(page)
+        now = system.sim.now
+        prior = execution.readset.get(page)
         if prior is None:
-            execution.readset[step.page] = ReadRecord(
-                position=execution.pos, version=version, time=system.sim.now
-            )
+            execution.readset[page] = ReadRecord(pos, version, now)
         else:
             # Re-access of a page (possible in hand-built programs): keep the
             # first position, observe the latest version.
-            execution.readset[step.page] = ReadRecord(
-                position=prior.position, version=version, time=system.sim.now
-            )
-        if step.is_write and step.page not in execution.writeset:
-            execution.writeset[step.page] = execution.pos
-        execution.pos += 1
-        execution.work += system.resources.step_service_time
-        self.after_step(execution, step)
+            execution.readset[page] = ReadRecord(prior[0], version, now)
+        if step.is_write and page not in execution.writeset:
+            execution.writeset[page] = pos
+        execution.pos = pos + 1
+        execution.work += self._step_time
+        self._after_step(execution, step)
         if execution.state is ExecutionState.RUNNING:
             self._advance(execution)
 

@@ -28,15 +28,20 @@ def compatible(a: LockMode, b: LockMode) -> bool:
     return a is LockMode.READ and b is LockMode.READ
 
 
-@dataclass
+@dataclass(slots=True)
 class LockRequest:
     """A queued lock request.
 
-    Attributes:
-        txn_id: Requesting transaction.
-        mode: Requested mode.
-        key: Priority key (smaller = more urgent); orders the queue.
-        alive: Cleared when the requester aborts or is granted.
+    Attributes
+    ----------
+    txn_id : int
+        Requesting transaction.
+    mode : LockMode
+        Requested mode.
+    key : tuple
+        Priority key (smaller = more urgent); orders the queue.
+    alive : bool
+        Cleared when the requester aborts or is granted.
     """
 
     txn_id: int
@@ -45,7 +50,7 @@ class LockRequest:
     alive: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class _LockEntry:
     holders: dict[int, LockMode] = field(default_factory=dict)
     queue: list[LockRequest] = field(default_factory=list)
@@ -104,15 +109,25 @@ class LockTable:
 
     def grant(self, txn_id: int, page: int, mode: LockMode) -> None:
         """Record a granted (or upgraded) lock."""
-        entry = self._entries.setdefault(page, _LockEntry())
-        current = entry.holders.get(txn_id)
+        entry = self._entries.get(page)
+        if entry is None:
+            entry = self._entries[page] = _LockEntry()
+        holders = entry.holders
+        current = holders.get(txn_id)
         if current is None or mode > current:
-            entry.holders[txn_id] = mode
-        self._held_by.setdefault(txn_id, set()).add(page)
+            holders[txn_id] = mode
+        held = self._held_by.get(txn_id)
+        if held is None:
+            self._held_by[txn_id] = {page}
+        else:
+            held.add(page)
 
     def enqueue(self, page: int, request: LockRequest) -> None:
         """Queue a request that could not be granted."""
-        self._entries.setdefault(page, _LockEntry()).queue.append(request)
+        entry = self._entries.get(page)
+        if entry is None:
+            entry = self._entries[page] = _LockEntry()
+        entry.queue.append(request)
 
     def cancel_requests(self, txn_id: int) -> None:
         """Mark every queued request by ``txn_id`` dead."""

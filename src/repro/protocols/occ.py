@@ -34,11 +34,13 @@ class BasicOCC(CCProtocol):
         self._runtime: dict[int, _TxnRuntime] = {}
 
     def on_arrival(self, txn: TransactionSpec) -> None:
+        """Start the transaction's (only) execution immediately — OCC never blocks."""
         runtime = _TxnRuntime(spec=txn, execution=Execution(txn))
         self._runtime[txn.txn_id] = runtime
         self._start(runtime.execution)
 
     def on_finished(self, execution: Execution) -> None:
+        """Validate backward: commit if no read is stale, else restart from scratch."""
         system = self._require_system()
         stale = any(
             system.db.version(page) != record.version

@@ -36,11 +36,18 @@ class OCCBroadcastCommit(CCProtocol):
         self._runtime: dict[int, _TxnRuntime] = {}
 
     def on_arrival(self, txn: TransactionSpec) -> None:
+        """Start the transaction's single execution immediately (no blocking)."""
         runtime = _TxnRuntime(spec=txn, execution=Execution(txn))
         self._runtime[txn.txn_id] = runtime
         self._start(runtime.execution)
 
     def on_finished(self, execution: Execution) -> None:
+        """Commit unconditionally and broadcast aborts to every stale reader.
+
+        Forward validation's invariant: stale readers are killed at the
+        very commit instant that staled them, so no live execution ever
+        holds a stale read and the committer itself needs no validation.
+        """
         committer_id = execution.txn.txn_id
         write_pages = set(execution.writeset)
         self._commit(execution)

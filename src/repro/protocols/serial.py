@@ -25,11 +25,13 @@ class SerialExecution(CCProtocol):
         self._current: Optional[Execution] = None
 
     def on_arrival(self, txn: TransactionSpec) -> None:
+        """Queue the arrival; start it immediately if the system is idle."""
         self._pending.append(txn)
         if self._current is None:
             self._start_next()
 
     def on_finished(self, execution: Execution) -> None:
+        """Commit the finished run (always valid: nothing ran concurrently)."""
         self._commit(execution)
         self._current = None
         self._start_next()

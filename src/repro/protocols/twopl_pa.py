@@ -67,15 +67,18 @@ class TwoPhaseLockingPA(CCProtocol):
     # ------------------------------------------------------------------
 
     def on_arrival(self, txn: TransactionSpec) -> None:
+        """Start the transaction's first execution attempt."""
         runtime = _TxnRuntime(spec=txn, execution=Execution(txn))
         self._runtime[txn.txn_id] = runtime
         self._start(runtime.execution)
 
     def before_step(self, execution: Execution, step: Step) -> bool:
+        """Acquire the step's lock first — block or abort holders per High Priority."""
         mode = LockMode.WRITE if step.is_write else LockMode.READ
         return self._acquire(execution, step.page, mode)
 
     def on_finished(self, execution: Execution) -> None:
+        """Commit (strict 2PL holds all locks here), then release and re-drive waiters."""
         txn_id = execution.txn.txn_id
         self._commit(execution)
         del self._runtime[txn_id]

@@ -60,15 +60,18 @@ class Wait50(CCProtocol):
     # ------------------------------------------------------------------
 
     def on_arrival(self, txn: TransactionSpec) -> None:
+        """Start the transaction's single execution immediately (OCC core)."""
         runtime = _TxnRuntime(spec=txn, execution=Execution(txn))
         self._runtime[txn.txn_id] = runtime
         self._start(runtime.execution)
 
     def on_finished(self, execution: Execution) -> None:
+        """Enter the wait pool and evaluate the 50% wait condition."""
         self._waiting[execution.txn.txn_id] = execution
         self._reevaluate()
 
     def after_step(self, execution: Execution, step) -> None:
+        """No-op: a completed read never clears anyone's wait condition."""
         # A read may have enlarged some waiter's conflict set; a growing CS
         # can only tip the balance towards more waiting, never towards
         # commit, so no re-evaluation is needed here.  (Re-evaluation on

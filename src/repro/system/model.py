@@ -97,27 +97,33 @@ class RTDBSystem:
                 protocol in this library may commit stale data.
         """
         txn = execution.txn
-        if txn.txn_id in self._committed_ids:
-            raise ProtocolError(f"T{txn.txn_id} committed twice")
-        if txn.txn_id not in self._active:
-            raise ProtocolError(f"T{txn.txn_id} committed without arriving")
-        reads: dict[int, int] = {}
+        txn_id = txn.txn_id
+        if txn_id in self._committed_ids:
+            raise ProtocolError(f"T{txn_id} committed twice")
+        if txn_id not in self._active:
+            raise ProtocolError(f"T{txn_id} committed without arriving")
+        db_version = self.db.version
+        # The reads snapshot is only consumed by the serializability
+        # oracle; build it inside the validation pass so history-off runs
+        # (the benchmark configuration) skip it without a second pass.
+        reads: Optional[dict[int, int]] = {} if self.history is not None else None
         for page, record in execution.readset.items():
-            current = self.db.version(page)
+            current = db_version(page)
             if record.version != current:
                 raise InvariantViolation(
-                    f"T{txn.txn_id} committing a stale read of page {page}: "
+                    f"T{txn_id} committing a stale read of page {page}: "
                     f"read v{record.version}, current v{current}"
                 )
-            reads[page] = record.version
-        batch = {page: txn.txn_id for page in execution.writeset}
-        self.db.install(batch, writer=txn.txn_id)
-        writes = {page: self.db.version(page) for page in execution.writeset}
+            if reads is not None:
+                reads[page] = record.version
+        batch = {page: txn_id for page in execution.writeset}
+        self.db.install(batch, writer=txn_id)
         if self.history is not None:
-            self.history.record(txn.txn_id, self.sim.now, reads, writes)
+            writes = {page: db_version(page) for page in execution.writeset}
+            self.history.record(txn_id, self.sim.now, reads, writes)
         self.metrics.record_commit(txn, self.sim.now, execution.work)
-        self._committed_ids.add(txn.txn_id)
-        del self._active[txn.txn_id]
+        self._committed_ids.add(txn_id)
+        del self._active[txn_id]
 
     def record_execution_abort(self, execution: Execution) -> None:
         """Account an aborted execution's service time as wasted work."""

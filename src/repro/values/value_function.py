@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValueFunction:
     """The paper's step-plus-gradient value function.
 

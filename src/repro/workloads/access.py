@@ -73,9 +73,11 @@ class AccessPattern(ABC):
         """
         pages = self.select_pages(pages_rng, num_pages, num_steps)
         write_flags = writes_rng.random(num_steps) < write_probability
+        # tolist() converts the whole array to Python scalars in C — much
+        # cheaper than per-element int()/bool() casts in the comprehension.
         return [
-            Step(page=int(page), is_write=bool(flag))
-            for page, flag in zip(pages, write_flags)
+            Step(page, flag)
+            for page, flag in zip(pages.tolist(), write_flags.tolist())
         ]
 
     def to_dict(self) -> dict:

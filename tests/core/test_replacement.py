@@ -81,3 +81,26 @@ def test_policies_handle_departed_writers():
     ordered = policy.order(None, records((0, 2), (99, 1)), protocol, 0.0)
     # Unknown writer 99 sorts last for deadline policy (infinite deadline).
     assert [r.writer for r in ordered] == [0, 99]
+
+
+def test_lbfo_order_matches_conflict_table_sort():
+    """Pin the coupling SCCkS._desired_coverage's fast path relies on.
+
+    ConflictTable.records() returns records sorted by (first_pos, writer)
+    — exactly LBFO's order.  The SCC-kS coverage fast path skips LBFO's
+    re-sort on that basis; if either side's key ever changes, this test
+    must fail before the fast path silently diverges.
+    """
+    from repro.core.conflict_table import ConflictTable
+
+    table = ConflictTable()
+    # Deliberately adversarial insertion order: late positions first,
+    # writer ids shuffled, one record's first_pos moved earlier by merge.
+    for writer, page, pos in [(7, 3, 9), (2, 4, 1), (9, 5, 4), (2, 6, 5), (7, 7, 2)]:
+        table.record(writer, page, pos)
+    sorted_records = table.records()
+    assert [(r.first_pos, r.writer) for r in sorted_records] == sorted(
+        (r.first_pos, r.writer) for r in sorted_records
+    )
+    policy = LatestBlockedFirstOut()
+    assert policy.order(None, sorted_records, None, 0.0) == sorted_records

@@ -88,3 +88,21 @@ class TestProfileClasses:
                 step_duration=0.01,
                 transactions=1,
             )
+
+
+class TestCaptureProfile:
+    def test_returns_result_and_report(self):
+        from repro.experiments.profiling import capture_profile
+
+        result, report = capture_profile(lambda: sum(range(1000)))
+        assert result == sum(range(1000))
+        assert "function calls" in report
+
+    def test_propagates_exceptions(self):
+        from repro.experiments.profiling import capture_profile
+
+        def boom():
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            capture_profile(boom)

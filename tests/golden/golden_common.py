@@ -1,0 +1,90 @@
+"""Shared machinery for the golden determinism reference.
+
+The golden payload runs two registered scenarios (the paper baseline and
+the adversarial flash-sale hotspot) through the full protocol roster at a
+reduced-but-meaningful scale and serializes every :class:`RunSummary`
+field with full float precision.  JSON round-trips Python floats exactly
+(shortest-repr), so equality against the committed reference is
+*bit-identical* equality of every metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.core.scc_2s import SCC2S
+from repro.core.scc_vw import SCCVW
+from repro.experiments.figures import VW_PERIOD
+from repro.experiments.runner import run_sweep
+from repro.protocols.occ_bc import OCCBroadcastCommit
+from repro.protocols.twopl_pa import TwoPhaseLockingPA
+from repro.protocols.wait50 import Wait50
+from repro.workloads.scenarios import get_scenario
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_reference.json")
+
+#: Scenarios covered by the golden gate: the CI-gated paper baseline and
+#: the high-contention hotspot scenario (exercises heavy speculation,
+#: restarts, and the deferral machinery under skewed access).
+SCENARIOS = ("paper-baseline", "flash-sale-hotspot")
+
+#: Reduced-scale sweep knobs.  Chosen so the whole payload computes in a
+#: few seconds while still driving thousands of events per protocol
+#: through every hot path (forking, blocking, replacement, commit).
+NUM_TRANSACTIONS = 240
+WARMUP_COMMITS = 24
+REPLICATIONS = 1
+ARRIVAL_RATES = (60.0, 140.0)
+
+
+def golden_protocols() -> dict:
+    """The protocol roster the golden gate sweeps.
+
+    Covers every concurrency-control family in the library: two-shadow
+    speculation (SCC-2S), value-cognizant deferred speculation (SCC-VW),
+    optimistic broadcast commit (OCC-BC), wait-controlled OCC (WAIT-50),
+    and locking with priority abort (2PL-PA).
+    """
+    return {
+        "SCC-2S": SCC2S,
+        "SCC-VW": lambda: SCCVW(period=VW_PERIOD),
+        "OCC-BC": OCCBroadcastCommit,
+        "WAIT-50": Wait50,
+        "2PL-PA": TwoPhaseLockingPA,
+    }
+
+
+def compute_golden_payload() -> dict:
+    """Run the golden sweeps and return the JSON-serializable payload."""
+    scenarios_out = {}
+    for name in SCENARIOS:
+        scenario = get_scenario(name)
+        config = scenario.to_config(
+            num_transactions=NUM_TRANSACTIONS,
+            warmup_commits=WARMUP_COMMITS,
+            replications=REPLICATIONS,
+            arrival_rates=ARRIVAL_RATES,
+        )
+        results = run_sweep(golden_protocols(), config)
+        summaries = {
+            protocol: [
+                [dataclasses.asdict(summary) for summary in per_rate]
+                for per_rate in sweep.replications
+            ]
+            for protocol, sweep in results.items()
+        }
+        scenarios_out[name] = {
+            "arrival_rates": list(ARRIVAL_RATES),
+            "summaries": summaries,
+        }
+    return {
+        "schema": 1,
+        "scale": {
+            "num_transactions": NUM_TRANSACTIONS,
+            "warmup_commits": WARMUP_COMMITS,
+            "replications": REPLICATIONS,
+            "arrival_rates": list(ARRIVAL_RATES),
+        },
+        "scenarios": scenarios_out,
+    }

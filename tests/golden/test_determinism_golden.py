@@ -1,0 +1,69 @@
+"""Golden-output determinism gate.
+
+Runs the paper-baseline and flash-sale-hotspot scenarios with fixed seeds
+through every protocol family and asserts *metric-for-metric* equality
+against the committed reference (``golden_reference.json``).
+
+This is the guard rail for performance work: any engine, core, or
+protocol optimization that changes simulation results — event ordering,
+RNG draw sequences, conflict detection, shadow replacement, commit
+timing — fails here even if every behavioural unit test still passes.
+
+To refresh the reference after an *intentional* semantics change, run
+``python scripts/gen_golden_reference.py`` and commit the JSON alongside
+an explanation (see that script's docstring).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.golden.golden_common import GOLDEN_PATH, compute_golden_payload
+
+
+@pytest.fixture(scope="module")
+def reference() -> dict:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def current() -> dict:
+    # Round-trip through JSON so floats compare in their serialized form
+    # (identical for exact values; this only normalizes types like tuples).
+    return json.loads(json.dumps(compute_golden_payload()))
+
+
+def test_golden_scale_matches(reference, current):
+    """The gate must compare like with like: same sweep shape as recorded."""
+    assert current["scale"] == reference["scale"]
+
+
+def test_golden_scenarios_present(reference, current):
+    assert set(current["scenarios"]) == set(reference["scenarios"])
+
+
+def test_golden_metrics_bit_identical(reference, current):
+    """Every metric of every run must equal the committed reference exactly."""
+    for scenario, ref_block in reference["scenarios"].items():
+        cur_block = current["scenarios"][scenario]
+        assert set(cur_block["summaries"]) == set(ref_block["summaries"]), scenario
+        for protocol, ref_sweep in ref_block["summaries"].items():
+            cur_sweep = cur_block["summaries"][protocol]
+            # strict zips: a run that silently drops a rate or replication
+            # must fail here, not truncate the comparison.
+            for rate_idx, (ref_rate, cur_rate) in enumerate(
+                zip(ref_sweep, cur_sweep, strict=True)
+            ):
+                for rep_idx, (ref_summary, cur_summary) in enumerate(
+                    zip(ref_rate, cur_rate, strict=True)
+                ):
+                    for metric, ref_value in ref_summary.items():
+                        cur_value = cur_summary[metric]
+                        assert cur_value == ref_value, (
+                            f"{scenario} / {protocol} / rate[{rate_idx}] / "
+                            f"rep[{rep_idx}] / {metric}: "
+                            f"got {cur_value!r}, reference {ref_value!r}"
+                        )
