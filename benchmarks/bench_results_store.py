@@ -1,0 +1,51 @@
+"""Run-record store: cold write-through vs warm resume.
+
+The persistence layer's contract is that a warm resume — every cell
+already in the store — costs fingerprinting plus index lookups, never
+simulation.  The two benchmarks here pin both sides: ``cold`` measures a
+sweep that computes every cell *and* durably appends each record
+(fsync per cell), ``warm`` measures the same grid served entirely from
+the store.  Warm must be orders of magnitude faster than cold; the gate
+catches a store hot path (fingerprint canonicalization, JSONL loading)
+regressing into the simulation budget.
+"""
+
+import os
+
+from repro.core.scc_2s import SCC2S
+from repro.experiments.runner import run_sweep
+from repro.protocols.occ_bc import OCCBroadcastCommit
+from repro.protocols.wait50 import Wait50
+from repro.results import RunStore
+
+PROTOCOLS = {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit, "WAIT-50": Wait50}
+
+
+def test_store_cold_write_through(benchmark, bench_config, tmp_path):
+    path = os.path.join(tmp_path, "cold.jsonl")
+
+    def cold():
+        if os.path.exists(path):
+            os.unlink(path)
+        return run_sweep(PROTOCOLS, bench_config, store=path)
+
+    results = benchmark.pedantic(cold, rounds=1, iterations=1)
+    store = RunStore(path)
+    cells = len(PROTOCOLS) * len(bench_config.arrival_rates)
+    assert len(store) == cells
+    assert set(results) == set(PROTOCOLS)
+    benchmark.extra_info["cells"] = cells
+
+
+def test_store_warm_resume(benchmark, bench_config, tmp_path):
+    path = os.path.join(tmp_path, "warm.jsonl")
+    cold = run_sweep(PROTOCOLS, bench_config, store=path)
+
+    def warm():
+        return run_sweep(PROTOCOLS, bench_config, store=path)
+
+    results = benchmark.pedantic(warm, rounds=3, iterations=1)
+    # Warm results are bit-identical to the cold run that seeded the store.
+    for name in PROTOCOLS:
+        assert results[name].replications == cold[name].replications, name
+    benchmark.extra_info["cells"] = len(PROTOCOLS) * len(bench_config.arrival_rates)

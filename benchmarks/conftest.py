@@ -25,7 +25,6 @@ from commit to commit; CI diffs it against the checked-in
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import time
@@ -34,6 +33,7 @@ import pytest
 
 from repro.experiments.config import baseline_config, two_class_config
 from repro.experiments.parallel import make_executor
+from repro.results import write_json_atomic
 
 # Reduced-scale sweep: the low-contention anchor (40), the paper's "all
 # protocols healthy" point (70), and the high-contention knee (150).
@@ -132,7 +132,7 @@ def pytest_sessionfinish(session, exitstatus):
         },
         "benchmarks": records,
     }
-    with open(target, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    # Atomic replace via the results layer: a crashed/killed bench run can
+    # never leave a half-written JSON for the regression gate to choke on.
+    write_json_atomic(target, payload)
     print(f"\nbenchmark results written to {target}")

@@ -31,6 +31,7 @@ CHECKED_PACKAGES = (
     os.path.join("src", "repro", "engine"),
     os.path.join("src", "repro", "core"),
     os.path.join("src", "repro", "protocols"),
+    os.path.join("src", "repro", "results"),
 )
 
 

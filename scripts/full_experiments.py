@@ -6,10 +6,19 @@ writes one JSON blob plus printable tables under results/.
 
 Usage:  python scripts/full_experiments.py [--quick] [--workers 4]
                                            [--executor serial|process]
+                                           [--store results/runs]
+
+``--store DIR`` makes the whole multi-hour driver resumable: every
+completed (protocol, rate, replication) cell is appended to a run store
+under DIR as it finishes, and a re-run after an interruption recomputes
+only the missing cells.  The figure sweeps share one store — fig13 and
+fig14(a)/15 overlap on three protocols over the same config, so the
+shared cells are computed once — while ablation A1 gets its own file
+(its ``SCC-2S`` label denotes an independently-constructed protocol).
 """
 
 import argparse
-import json
+import os
 import sys
 import time
 
@@ -23,6 +32,7 @@ from repro.experiments.figures import (
     run_sweep,
 )
 from repro.metrics.report import format_series_table
+from repro.results import write_json_atomic
 
 RATES = (10, 25, 50, 75, 100, 125, 150, 175, 200)
 
@@ -53,7 +63,14 @@ def main():
         "--workers", type=int, default=None,
         help="worker processes for the process executor (default: all cores)",
     )
+    parser.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="run-store directory: completed cells persist there and an "
+        "interrupted driver resumes where it died",
+    )
     args = parser.parse_args()
+    figures_store = os.path.join(args.store, "figures.jsonl") if args.store else None
+    ablation_store = os.path.join(args.store, "ablation_k.jsonl") if args.store else None
     try:
         executor = resolve_executor(args.executor, workers=args.workers)
     except ConfigurationError as exc:
@@ -78,7 +95,8 @@ def main():
     t0 = time.time()
 
     print("== Figure 13 (baseline: missed ratio + tardiness) ==", flush=True)
-    r13 = run_sweep(fig13_protocols(), base, progress=progress, executor=executor)
+    r13 = run_sweep(fig13_protocols(), base, progress=progress, executor=executor,
+                    store=figures_store)
     blob["fig13"] = sweep_to_dict(r13)
     print(format_series_table("rate", list(RATES),
           {n: s.missed_ratio() for n, s in r13.items()}, "Fig 13(a) Missed Ratio (%)"))
@@ -86,7 +104,8 @@ def main():
           {n: s.avg_tardiness() for n, s in r13.items()}, "Fig 13(b) Avg Tardiness (s)"))
 
     print("== Figures 14(a)/15 (one-class value runs) ==", flush=True)
-    r14a = run_sweep(fig14_protocols(), base, progress=progress, executor=executor)
+    r14a = run_sweep(fig14_protocols(), base, progress=progress, executor=executor,
+                     store=figures_store)
     blob["fig14a_fig15"] = sweep_to_dict(r14a)
     print(format_series_table("rate", list(RATES),
           {n: s.system_value() for n, s in r14a.items()}, "Fig 14(a) System Value (%)"))
@@ -96,21 +115,22 @@ def main():
           {n: s.avg_tardiness() for n, s in r14a.items()}, "Fig 15(b) Avg Tardiness (s)"))
 
     print("== Figure 14(b) (two-class value runs) ==", flush=True)
-    r14b = run_sweep(fig14_protocols(), two, progress=progress, executor=executor)
+    r14b = run_sweep(fig14_protocols(), two, progress=progress, executor=executor,
+                     store=figures_store)
     blob["fig14b"] = sweep_to_dict(r14b)
     print(format_series_table("rate", list(RATES),
           {n: s.system_value() for n, s in r14b.items()}, "Fig 14(b) System Value (%)"))
 
     print("== Ablation A1 (k sweep) ==", flush=True)
     rk = run_ablation_k(base.scaled(arrival_rates=[70, 150]), ks=(1, 2, 3, 5, None),
-                    executor=executor)
+                    executor=executor, store=ablation_store)
     blob["ablation_k"] = sweep_to_dict(rk)
     print(format_series_table("rate", [70, 150],
           {n: s.missed_ratio() for n, s in rk.items()}, "A1 Missed Ratio (%) by k"))
 
     blob["elapsed_seconds"] = time.time() - t0
-    with open("results/full_experiments.json", "w") as fh:
-        json.dump(blob, fh, indent=2)
+    os.makedirs("results", exist_ok=True)
+    write_json_atomic("results/full_experiments.json", blob)
     print(f"done in {blob['elapsed_seconds']:.0f}s -> results/full_experiments.json")
 
 

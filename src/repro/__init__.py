@@ -77,6 +77,7 @@ from repro.workloads.scenarios import (
     register_scenario,
     scenario_from_dict,
 )
+from repro.results import RunRecord, RunStore, cell_fingerprint, config_fingerprint
 
 __version__ = "1.0.0"
 
@@ -100,6 +101,8 @@ __all__ = [
     "RTDBSystem",
     "RandomStreams",
     "ReproError",
+    "RunRecord",
+    "RunStore",
     "RunSummary",
     "SCC2S",
     "SCCCB",
@@ -124,7 +127,9 @@ __all__ = [
     "WorkloadSpec",
     "ZipfianAccess",
     "available_scenarios",
+    "cell_fingerprint",
     "check_serializable",
+    "config_fingerprint",
     "figure3_table",
     "get_scenario",
     "mean_confidence_interval",

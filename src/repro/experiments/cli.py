@@ -5,9 +5,13 @@ Usage::
     scc-experiments fig13a [--transactions N] [--replications R]
                            [--rates 10,50,100,150,200] [--seed S]
                            [--executor serial|process] [--workers W]
+                           [--store runs.jsonl] [--format table|json|csv]
     scc-experiments all --transactions 1000 --replications 2 --workers 4
     scc-experiments --scenario bursty-telecom --rates 70,150
     scc-experiments scenarios           # list the registered scenarios
+    scc-experiments results list --store runs.jsonl
+    scc-experiments results export --store runs.jsonl --format csv
+    scc-experiments results diff --store a.jsonl --against b.jsonl
 
 Each command prints the series the corresponding paper figure plots, as a
 fixed-width table (one row per arrival rate, one column per protocol).
@@ -18,6 +22,14 @@ fixed-width table (one row per arrival rate, one column per protocol).
 pattern, and deadline policy all come from the scenario; ``--scenario
 paper-baseline`` is bit-identical to the default path).  The command
 defaults to ``fig13a`` so ``scc-experiments --scenario NAME`` works bare.
+
+``--store PATH`` makes the sweep persistent and resumable: cells already
+in the JSONL run store are served from it, fresh cells are appended as
+they complete, and an interrupted invocation picks up where it died.
+``--format json|csv`` replaces the table with the canonical
+:class:`~repro.results.record.RunRecord` serialization (machine-readable;
+status lines go to stderr).  The ``results`` subcommand lists, exports,
+and diffs stored runs without re-simulating anything.
 """
 
 from __future__ import annotations
@@ -35,6 +47,13 @@ from repro.experiments.config import baseline_config, two_class_config
 from repro.experiments.parallel import available_executors, resolve_executor
 from repro.experiments.runner import SweepResult
 from repro.metrics.report import format_series_table, format_table
+from repro.results import (
+    RunStore,
+    diff_records,
+    records_from_results,
+    records_to_json,
+    write_csv,
+)
 
 _FIGURES = {
     "fig13a": ("Figure 13(a): Missed Ratio (%), baseline model", "missed"),
@@ -143,20 +162,136 @@ def _run_figure(command: str, args: argparse.Namespace) -> str:
     rates = _parse_rates(args.rates)
     runner = _RUNNERS[command]
     executor = _resolve_executor_or_exit(args)
+    store = RunStore(args.store) if args.store else None
+    stored_before = len(store) if store is not None else 0
     started = time.time()
     results: dict[str, SweepResult] = runner(
-        config, arrival_rates=rates, executor=executor
+        config, arrival_rates=rates, executor=executor, store=store,
+        scenario=args.scenario,
     )
     elapsed = time.time() - started
-    extract = _METRIC_EXTRACTORS[metric]
     some = next(iter(results.values()))
+    total_cells = len(results) * len(some.arrival_rates) * config.replications
+    status = f"[{config.num_transactions} txns x {config.replications} reps, {elapsed:.1f}s]"
+    if store is not None:
+        computed = len(store) - stored_before
+        status += (
+            f" [store: {args.store} — {total_cells - computed}/{total_cells} "
+            f"cells reused, {computed} computed]"
+        )
+    if args.format != "table":
+        # Machine-readable output: the canonical RunRecord serialization
+        # of exactly this run's grid; human status goes to stderr.  With a
+        # store, serve the stored records (they carry the cells' real
+        # wall-clock) — records_from_results only fills the no-store path.
+        records = records_from_results(config, results, scenario=args.scenario)
+        if store is not None:
+            records = [store.get(r.fingerprint) or r for r in records]
+        print(status, file=sys.stderr)
+        return _render_records(records, args.format)
+    extract = _METRIC_EXTRACTORS[metric]
     table = format_series_table(
         "arrival_rate",
         list(some.arrival_rates),
         {name: extract(result) for name, result in results.items()},
         title=title,
     )
-    return f"{table}\n[{config.num_transactions} txns x {config.replications} reps, {elapsed:.1f}s]"
+    return f"{table}\n{status}"
+
+
+def _render_records(records, fmt: str) -> str:
+    if fmt == "json":
+        return records_to_json(records)
+    import io
+
+    buffer = io.StringIO()
+    write_csv(records, buffer)
+    return buffer.getvalue().rstrip("\n")
+
+
+def _load_store_or_exit(path: Optional[str]) -> RunStore:
+    if not path:
+        raise SystemExit(
+            "scc-experiments: error: the results command needs --store PATH"
+        )
+    store = RunStore(path)
+    if store.corrupt_lines:
+        print(
+            f"note: {store.corrupt_lines} corrupt line(s) in {path} were "
+            "skipped (interrupted append?); affected cells will re-run",
+            file=sys.stderr,
+        )
+    return store
+
+
+def _results_list(store: RunStore) -> str:
+    rows = []
+    for record in store.records():
+        rows.append(
+            (
+                record.fingerprint[:12],
+                record.scenario or "-",
+                record.protocol,
+                record.arrival_rate,
+                record.replication,
+                record.summary.committed,
+                record.summary.missed_ratio,
+                record.summary.system_value,
+                record.elapsed,
+            )
+        )
+    table = format_table(
+        ["cell", "scenario", "protocol", "rate", "rep", "committed",
+         "missed %", "value %", "elapsed s"],
+        rows,
+        title=f"Run store {store.path}: {len(store)} record(s)",
+    )
+    return table
+
+
+def _results_diff(store: RunStore, against: Optional[str]) -> tuple[str, int]:
+    if not against:
+        raise SystemExit(
+            "scc-experiments: error: results diff needs --against OTHER_STORE"
+        )
+    other = _load_store_or_exit(against)
+    report = diff_records(store.records(), other.records())
+    lines = [
+        f"diff {store.path} (A) vs {against} (B):",
+        f"  identical cells : {report['identical']}",
+        f"  changed cells   : {len(report['changed'])}",
+        f"  only in A       : {len(report['only_a'])}",
+        f"  only in B       : {len(report['only_b'])}",
+    ]
+    if report["changed"]:
+        rows = []
+        for rec_a, _rec_b, deltas in report["changed"]:
+            for metric, (value_a, value_b) in sorted(deltas.items()):
+                rows.append(
+                    (rec_a.fingerprint[:12], rec_a.protocol,
+                     rec_a.arrival_rate, rec_a.replication, metric,
+                     value_a, value_b)
+                )
+        lines.append("")
+        lines.append(format_table(
+            ["cell", "protocol", "rate", "rep", "metric", "A", "B"], rows,
+        ))
+    # Any difference — drifted metrics *or* cells covered by only one
+    # store — is a nonzero exit, so a CI gate can't pass on mismatched
+    # grids that merely avoid contradicting each other.
+    differs = report["changed"] or report["only_a"] or report["only_b"]
+    return "\n".join(lines), 1 if differs else 0
+
+
+def _run_results(args: argparse.Namespace) -> tuple[str, int]:
+    action = args.action or "list"
+    store = _load_store_or_exit(args.store)
+    if action == "list":
+        return _results_list(store), 0
+    if action == "export":
+        fmt = args.format if args.format != "table" else "json"
+        return _render_records(store.records(), fmt), 0
+    return _results_diff(store, args.against)
 
 
 def _run_fig3(args: argparse.Namespace) -> str:
@@ -185,9 +320,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "command",
         nargs="?",
         default="fig13a",
-        choices=sorted(_FIGURES) + ["fig3", "all", "scenarios"],
-        help="which figure to regenerate, or 'scenarios' to list the "
-        "registered workload scenarios (default: fig13a)",
+        choices=sorted(_FIGURES) + ["fig3", "all", "scenarios", "results"],
+        help="which figure to regenerate, 'scenarios' to list the "
+        "registered workload scenarios, or 'results' to inspect a run "
+        "store (default: fig13a)",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        choices=["list", "export", "diff"],
+        help="for the results command: list stored records (default), "
+        "export them (--format json|csv), or diff against another store "
+        "(--against)",
     )
     parser.add_argument(
         "--scenario", type=str, default=None,
@@ -219,7 +364,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--max-n", dest="max_n", type=int, default=8,
         help="fig3: largest number of pairwise-conflicting transactions",
     )
+    parser.add_argument(
+        "--store", type=str, default=None,
+        help="JSONL run store: completed cells are reused, fresh cells "
+        "appended as they finish (interrupted sweeps resume)",
+    )
+    parser.add_argument(
+        "--format", choices=["table", "json", "csv"], default="table",
+        help="output format for sweep results and 'results export' "
+        "(json/csv emit the canonical RunRecord serialization)",
+    )
+    parser.add_argument(
+        "--against", type=str, default=None,
+        help="results diff: the run store to compare --store against",
+    )
     args = parser.parse_args(argv)
+
+    if args.action is not None and args.command != "results":
+        raise SystemExit(
+            f"scc-experiments: error: '{args.action}' only applies to the "
+            "results command"
+        )
+    if args.format != "table" and args.command in ("all", "fig3", "scenarios"):
+        # 'all' would concatenate several JSON/CSV documents on stdout;
+        # fig3/scenarios produce no run records at all.
+        raise SystemExit(
+            f"scc-experiments: error: --format {args.format} is not "
+            f"supported by the '{args.command}' command; run one figure at "
+            "a time (or export from a --store via 'results export')"
+        )
+    if args.command == "results":
+        output, code = _run_results(args)
+        print(output)
+        return code
 
     commands = sorted(_FIGURES) + ["fig3"] if args.command == "all" else [args.command]
     for command in commands:
@@ -229,7 +406,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_run_fig3(args))
         else:
             print(_run_figure(command, args))
-        print()
+        if args.format == "table":
+            print()  # blank separator between tables; machine output stays clean
     return 0
 
 

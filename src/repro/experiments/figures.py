@@ -67,6 +67,7 @@ def run_scenario(
     arrival_rates: Optional[Sequence[float]] = None,
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
+    store=None,
     **config_overrides,
 ) -> dict[str, SweepResult]:
     """Run a registered (or ad-hoc) scenario through the sweep runner.
@@ -87,7 +88,8 @@ def run_scenario(
         scenario = get_scenario(scenario)
     config = scenario.to_config(**config_overrides)
     return run_sweep(protocols or fig14_protocols(), config, arrival_rates,
-                     executor=executor, workers=workers)
+                     executor=executor, workers=workers, store=store,
+                     scenario=scenario.name)
 
 
 def run_fig13(
@@ -95,10 +97,13 @@ def run_fig13(
     arrival_rates: Optional[Sequence[float]] = None,
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
+    store=None,
+    scenario: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figures 13(a)+(b): Missed Ratio and Average Tardiness, baseline model."""
     return run_sweep(fig13_protocols(), config or baseline_config(), arrival_rates,
-                     executor=executor, workers=workers)
+                     executor=executor, workers=workers, store=store,
+                     scenario=scenario)
 
 
 def run_fig14a(
@@ -106,10 +111,13 @@ def run_fig14a(
     arrival_rates: Optional[Sequence[float]] = None,
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
+    store=None,
+    scenario: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figure 14(a): System Value, one transaction class (45° gradient)."""
     return run_sweep(fig14_protocols(), config or baseline_config(), arrival_rates,
-                     executor=executor, workers=workers)
+                     executor=executor, workers=workers, store=store,
+                     scenario=scenario)
 
 
 def run_fig14b(
@@ -117,10 +125,13 @@ def run_fig14b(
     arrival_rates: Optional[Sequence[float]] = None,
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
+    store=None,
+    scenario: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figure 14(b): System Value, the 10%/90% two-class mix."""
     return run_sweep(fig14_protocols(), config or two_class_config(), arrival_rates,
-                     executor=executor, workers=workers)
+                     executor=executor, workers=workers, store=store,
+                     scenario=scenario)
 
 
 def run_fig15(
@@ -128,10 +139,13 @@ def run_fig15(
     arrival_rates: Optional[Sequence[float]] = None,
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
+    store=None,
+    scenario: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figures 15(a)+(b): SCC-VW's Missed Ratio / Average Tardiness."""
     return run_sweep(fig14_protocols(), config or baseline_config(), arrival_rates,
-                     executor=executor, workers=workers)
+                     executor=executor, workers=workers, store=store,
+                     scenario=scenario)
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +168,7 @@ def run_ablation_k(
     ks: Sequence[Optional[int]] = (1, 2, 3, 5, None),
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> dict[str, SweepResult]:
     """A1: the resources-for-timeliness dial (k shadows per transaction).
 
@@ -162,7 +177,7 @@ def run_ablation_k(
     """
     return run_sweep(
         ablation_k_protocols(ks), config or baseline_config(), arrival_rates,
-        executor=executor, workers=workers,
+        executor=executor, workers=workers, store=store,
     )
 
 
@@ -181,6 +196,7 @@ def run_ablation_replacement(
     k: int = 3,
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> dict[str, SweepResult]:
     """A3: LBFO vs deadline-aware vs value-aware shadow replacement."""
     factories = {
@@ -188,7 +204,7 @@ def run_ablation_replacement(
         for name, policy in replacement_policies().items()
     }
     return run_sweep(factories, config or baseline_config(), arrival_rates,
-                     executor=executor, workers=workers)
+                     executor=executor, workers=workers, store=store)
 
 
 def run_ablation_wait_threshold(
@@ -197,6 +213,7 @@ def run_ablation_wait_threshold(
     thresholds: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> dict[str, SweepResult]:
     """A4: the WAIT-X family (Haritsa's wait-control threshold).
 
@@ -212,7 +229,7 @@ def run_ablation_wait_threshold(
         label = f"WAIT-{int(round(threshold * 100))}"
         factories[label] = (lambda x: lambda: Wait50(wait_threshold=x))(threshold)
     return run_sweep(factories, config or baseline_config(), arrival_rates,
-                     executor=executor, workers=workers)
+                     executor=executor, workers=workers, store=store)
 
 
 def run_ablation_resources(
@@ -223,6 +240,9 @@ def run_ablation_resources(
     workers: Optional[int] = None,
 ) -> dict[str, SweepResult]:
     """A2: finite resources (``None`` = infinite), fixed arrival rate.
+
+    Takes no ``store``: resource managers are not part of the cell
+    fingerprint, so the per-server-count sweeps would collide in one store.
 
     Reproduces the introduction's PCC-vs-OCC resource argument: with few
     servers, restart- and speculation-heavy protocols pay for their wasted

@@ -41,6 +41,7 @@ __all__ = [
     "CellError",
     "CellOutcome",
     "CellRunner",
+    "OutcomeCallback",
     "ProcessSweepExecutor",
     "ProgressEvent",
     "ProgressReporter",
@@ -129,6 +130,12 @@ class ProgressEvent:
 
 CellRunner = Callable[[SweepCell], RunSummary]
 ProgressCallback = Callable[[ProgressEvent], None]
+#: Parent-side hook fired once per materialized outcome (in completion
+#: order, not cell order).  This is the persistence seam: the run-record
+#: store appends each completed cell here, so a killed sweep keeps every
+#: cell that finished before the kill.  Always invoked in the parent
+#: process, never in pool workers.
+OutcomeCallback = Callable[[CellOutcome], None]
 
 
 def _eta(completed: int, total: int, elapsed: float) -> Optional[float]:
@@ -168,8 +175,13 @@ class SweepExecutor(ABC):
         cells: Sequence[SweepCell],
         runner: CellRunner,
         on_progress: Optional[ProgressCallback] = None,
+        on_outcome: Optional[OutcomeCallback] = None,
     ) -> list[CellOutcome]:
-        """Execute all cells and return one outcome per cell, cell-ordered."""
+        """Execute all cells and return one outcome per cell, cell-ordered.
+
+        ``on_outcome`` fires in the parent as each outcome materializes
+        (completion order); see :data:`OutcomeCallback`.
+        """
 
 
 class SerialSweepExecutor(SweepExecutor):
@@ -182,6 +194,7 @@ class SerialSweepExecutor(SweepExecutor):
         cells: Sequence[SweepCell],
         runner: CellRunner,
         on_progress: Optional[ProgressCallback] = None,
+        on_outcome: Optional[OutcomeCallback] = None,
     ) -> list[CellOutcome]:
         total = len(cells)
         t0 = time.perf_counter()
@@ -200,6 +213,8 @@ class SerialSweepExecutor(SweepExecutor):
                 )
             outcome = _execute_cell(cell, runner)
             outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
             if on_progress is not None:
                 elapsed = time.perf_counter() - t0
                 on_progress(
@@ -280,13 +295,14 @@ class ProcessSweepExecutor(SweepExecutor):
         cells: Sequence[SweepCell],
         runner: CellRunner,
         on_progress: Optional[ProgressCallback] = None,
+        on_outcome: Optional[OutcomeCallback] = None,
     ) -> list[CellOutcome]:
         if not cells:
             return []
         if "fork" not in multiprocessing.get_all_start_methods():
             # No fork: the runner closure cannot reach workers unpickled.
             # Degrade to the serial path — results are identical.
-            return SerialSweepExecutor().run(cells, runner, on_progress)
+            return SerialSweepExecutor().run(cells, runner, on_progress, on_outcome)
         workers = self._effective_workers(len(cells))
         chunks = self._chunks(cells, workers)
         context = multiprocessing.get_context("fork")
@@ -315,6 +331,8 @@ class ProcessSweepExecutor(SweepExecutor):
                     for outcome in outcomes:
                         completed += 1
                         by_index[outcome.cell.index] = outcome
+                        if on_outcome is not None:
+                            on_outcome(outcome)
                         if on_progress is not None:
                             elapsed = time.perf_counter() - t0
                             on_progress(

@@ -14,12 +14,17 @@ same path.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.analysis.serializability import check_serializable
 from repro.engine.rng import RandomStreams
-from repro.errors import InvariantViolation, SweepExecutionError
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    SweepExecutionError,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import (
     CellOutcome,
@@ -31,6 +36,9 @@ from repro.experiments.parallel import (
 )
 from repro.metrics.confidence import ConfidenceInterval, mean_confidence_interval
 from repro.metrics.stats import MetricsCollector, RunSummary
+from repro.results.fingerprint import cell_fingerprint, config_payload
+from repro.results.record import RunRecord
+from repro.results.store import RunStore
 from repro.protocols.base import CCProtocol
 from repro.system.model import RTDBSystem
 from repro.system.resources import InfiniteResources, ResourceManager
@@ -180,6 +188,8 @@ def run_sweep(
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
     on_progress: Optional[ProgressCallback] = None,
+    store: Union[RunStore, str, os.PathLike, None] = None,
+    scenario: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Run every protocol over the arrival-rate sweep with replications.
 
@@ -187,11 +197,25 @@ def run_sweep(
     cell's workload stream depends only on ``(seed, replication)``, the
     parallel executor produces summaries bit-identical to the serial path.
 
+    With ``store`` set, the sweep becomes *persistent and resumable*:
+    cells whose fingerprint (config + workload spec + cell coordinates,
+    see :mod:`repro.results.fingerprint`) is already in the store are
+    served from it without running, and fresh outcomes are appended
+    durably as they complete — a sweep killed mid-grid resumes where it
+    died, and the assembled results are bit-identical to a cold run
+    (summaries round-trip through canonical JSON exactly).
+
     Args:
         protocols: name -> factory producing a *fresh* protocol instance.
+            With a store, the *name* is the protocol's identity: reusing a
+            name for a differently-parameterized protocol against the same
+            store returns the old records.
         config: Experiment configuration.
         arrival_rates: Overrides ``config.arrival_rates`` when given.
         resources: Optional resource-manager factory (infinite by default).
+            Mutually exclusive with ``store``: resource managers are not
+            fingerprinted, so caching across resource models would serve
+            wrong results.
         progress: Optional callback ``(protocol, rate, replication)`` fired
             before each run under the serial executor, and as cells complete
             under the process executor (workers start cells remotely).
@@ -202,6 +226,12 @@ def run_sweep(
         on_progress: Optional structured callback receiving
             :class:`~repro.experiments.parallel.ProgressEvent` ticks
             (e.g. a :class:`~repro.experiments.parallel.ProgressReporter`).
+            With a store, ``completed``/``total`` count only the cells
+            actually being run this invocation.
+        store: A :class:`~repro.results.store.RunStore` or a path to its
+            JSONL file (created on first append).
+        scenario: Scenario name recorded as metadata on stored records
+            (:func:`~repro.experiments.figures.run_scenario` supplies it).
 
     Returns:
         name -> :class:`SweepResult`.
@@ -209,8 +239,16 @@ def run_sweep(
     Raises:
         SweepExecutionError: If any cell crashed.  The executor isolates
             failures per cell, so every other cell still runs to completion
-            and all error records are reported together.
+            and all error records are reported together.  Failed cells are
+            never persisted, so a store-backed rerun retries exactly them.
     """
+    if store is not None and resources is not None:
+        raise ConfigurationError(
+            "run_sweep cannot combine store= with a custom resources= "
+            "factory: resource managers are not part of the cell "
+            "fingerprint, so cached cells from a different resource model "
+            "would be served silently"
+        )
     rates = tuple(arrival_rates if arrival_rates is not None else config.arrival_rates)
     chosen = resolve_executor(executor, workers=workers)
     factories = dict(protocols)
@@ -241,5 +279,58 @@ def run_sweep(
             on_progress(event)
 
     callback = emit if (progress is not None or on_progress is not None) else None
-    outcomes = chosen.run(cells, run_cell, on_progress=callback)
+
+    if store is None:
+        outcomes = chosen.run(cells, run_cell, on_progress=callback)
+        return assemble_results(names, rates, config.replications, outcomes)
+
+    owns_store = not isinstance(store, RunStore)
+    run_store = RunStore(store) if owns_store else store
+    payload = config_payload(config)
+    fingerprints = {
+        cell.index: cell_fingerprint(
+            payload, cell.protocol, cell.arrival_rate, cell.replication
+        )
+        for cell in cells
+    }
+    cached: dict[int, CellOutcome] = {}
+    missing: list[SweepCell] = []
+    for cell in cells:
+        record = run_store.get(fingerprints[cell.index])
+        if record is not None:
+            cached[cell.index] = CellOutcome(
+                cell=cell, summary=record.summary, error=None,
+                elapsed=record.elapsed,
+            )
+        else:
+            missing.append(cell)
+
+    def persist(outcome: CellOutcome) -> None:
+        # Parent-side, per completed cell: each append is flushed + fsync'd
+        # before the next cell's outcome lands, which is what makes a
+        # killed sweep resume from its last *completed* cell.
+        if outcome.ok:
+            run_store.append(
+                RunRecord.from_outcome(
+                    config, outcome, scenario=scenario,
+                    config_payload_dict=payload,
+                )
+            )
+
+    fresh: dict[int, CellOutcome] = {}
+    try:
+        if missing:
+            for outcome in chosen.run(
+                missing, run_cell, on_progress=callback, on_outcome=persist
+            ):
+                fresh[outcome.cell.index] = outcome
+    finally:
+        if owns_store:
+            # Release the append handle we opened; caller-supplied stores
+            # manage their own lifecycle.
+            run_store.close()
+    outcomes = [
+        cached[cell.index] if cell.index in cached else fresh[cell.index]
+        for cell in cells
+    ]
     return assemble_results(names, rates, config.replications, outcomes)

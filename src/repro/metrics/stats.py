@@ -19,6 +19,7 @@ explaining protocol behaviour.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from repro.errors import ProtocolError
 from repro.txn.spec import TransactionSpec
@@ -76,6 +77,39 @@ class RunSummary:
         """Wasted work as a fraction of all work performed."""
         total = self.wasted_work + self.useful_work
         return self.wasted_work / total if total > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, invertible by :meth:`from_dict`.
+
+        Every field is a JSON-native scalar or a flat ``str -> float``
+        mapping, and JSON round-trips Python floats exactly (shortest
+        repr), so ``from_dict(json.loads(json.dumps(to_dict())))`` is
+        *bit-identical* to the original summary.  This is the property the
+        persistent run store (:mod:`repro.results`) builds on.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSummary":
+        """Rebuild a summary from its :meth:`to_dict` form.
+
+        Raises:
+            ProtocolError: If the payload is missing fields or carries
+                unknown ones (a schema mismatch, e.g. a store written by a
+                different library version).
+        """
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        data = dict(payload)
+        unknown = set(data) - field_names
+        missing = field_names - set(data)
+        if unknown or missing:
+            raise ProtocolError(
+                f"RunSummary payload mismatch: missing {sorted(missing)}, "
+                f"unknown {sorted(unknown)}"
+            )
+        data["per_class_missed"] = dict(data["per_class_missed"])
+        data["per_class_value"] = dict(data["per_class_value"])
+        return cls(**data)
 
 
 class MetricsCollector:

@@ -1,0 +1,53 @@
+"""Persistent experiment records: durable, resumable, re-analyzable runs.
+
+The subsystem has three pieces:
+
+* :mod:`repro.results.fingerprint` — content addresses for sweep cells
+  (stable hashes of config + workload spec + cell coordinates);
+* :mod:`repro.results.record` — the versioned :class:`RunRecord` schema
+  with canonical dict/JSON round-trip;
+* :mod:`repro.results.store` — the append-only JSONL :class:`RunStore`
+  with atomic appends and corruption-tolerant reads.
+
+``run_sweep(..., store=path)`` looks completed cells up by fingerprint and
+skips them, appending fresh outcomes as they complete — a killed sweep
+resumes where it died, and the assembled results are bit-identical to a
+cold run.  :mod:`repro.results.export` turns stored records into CSV/JSON
+and diffs stores cell by cell.
+"""
+
+from repro.results.fingerprint import (
+    canonical_dumps,
+    cell_fingerprint,
+    config_fingerprint,
+    config_payload,
+    digest,
+)
+from repro.results.record import RECORD_SCHEMA, RunRecord
+from repro.results.store import RunStore, write_json_atomic
+from repro.results.export import (
+    CSV_COLUMNS,
+    DIFF_METRICS,
+    diff_records,
+    records_from_results,
+    records_to_json,
+    write_csv,
+)
+
+__all__ = [
+    "CSV_COLUMNS",
+    "DIFF_METRICS",
+    "RECORD_SCHEMA",
+    "RunRecord",
+    "RunStore",
+    "canonical_dumps",
+    "cell_fingerprint",
+    "config_fingerprint",
+    "config_payload",
+    "diff_records",
+    "digest",
+    "records_from_results",
+    "records_to_json",
+    "write_csv",
+    "write_json_atomic",
+]

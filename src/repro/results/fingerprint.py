@@ -1,0 +1,120 @@
+"""Content fingerprints for experiment cells.
+
+The paper's §4 variance-reduction discipline makes every sweep cell — one
+``(config, protocol, arrival rate, replication)`` point — a *pure function
+of its inputs*: the workload stream is derived from ``(seed, replication)``
+only, and the protocol is deterministic given that stream.  A cell's
+result can therefore be addressed by a stable hash of those inputs, which
+is what lets the persistent store (:mod:`repro.results.store`) skip
+already-computed cells across process lifetimes.
+
+Canonical form
+--------------
+Fingerprints hash the *canonical JSON* rendering of a plain-dict payload:
+keys sorted, no whitespace, ``allow_nan=False``.  Python's shortest-repr
+float serialization is deterministic and injective, so two configs hash
+alike iff their payloads are equal.
+
+What is — and is not — hashed
+-----------------------------
+The config payload covers everything that changes a single cell's result:
+transaction classes, database size, service times, transaction/warmup
+counts, root seed, serializability checking, and the full workload spec
+(arrival process, access pattern, deadline policy).  It deliberately
+*excludes* ``arrival_rates``, ``replications``, and ``confidence_level``:
+those shape the grid and its post-processing, not any one cell — so
+extending a sweep axis or adding replications reuses every cell already
+stored.  Protocol identity is the caller-supplied name; the store trusts
+that a name maps to one protocol configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "FINGERPRINT_HEX_CHARS",
+    "canonical_dumps",
+    "cell_fingerprint",
+    "config_fingerprint",
+    "config_payload",
+    "digest",
+]
+
+#: Hex characters kept from the sha256 digest (128 bits — collisions are
+#: not a practical concern at experiment-grid cardinalities).
+FINGERPRINT_HEX_CHARS = 32
+
+
+def canonical_dumps(payload) -> str:
+    """Serialize ``payload`` to canonical JSON (sorted keys, compact)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def digest(payload) -> str:
+    """Stable hex fingerprint of a JSON-serializable payload."""
+    encoded = canonical_dumps(payload).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:FINGERPRINT_HEX_CHARS]
+
+
+def config_payload(config: "ExperimentConfig") -> dict:
+    """The canonical plain-dict form of everything that shapes one cell.
+
+    ``config.workload is None`` (the paper baseline) and an explicitly
+    constructed default :class:`~repro.workloads.generator.WorkloadSpec`
+    produce the same payload — they generate bit-identical workloads, so
+    they must fingerprint alike.
+    """
+    from repro.workloads.generator import WorkloadSpec
+
+    spec = config.workload if config.workload is not None else WorkloadSpec()
+    return {
+        "classes": [cls.to_dict() for cls in config.classes],
+        "num_pages": config.num_pages,
+        "cpu_time": config.cpu_time,
+        "io_time": config.io_time,
+        "num_transactions": config.num_transactions,
+        "warmup_commits": config.warmup_commits,
+        "seed": config.seed,
+        "check_serializability": config.check_serializability,
+        "workload": spec.to_dict(),
+    }
+
+
+def config_fingerprint(config: "ExperimentConfig") -> str:
+    """Fingerprint of the cell-shaping part of an experiment config."""
+    return digest(config_payload(config))
+
+
+def cell_fingerprint(
+    config: "ExperimentConfig | dict",
+    protocol: str,
+    arrival_rate: float,
+    replication: int,
+) -> str:
+    """Fingerprint of one sweep cell.
+
+    Args:
+        config: The experiment config, or a precomputed
+            :func:`config_payload` dict (callers fingerprinting a whole
+            grid should precompute the payload once).
+        protocol: Protocol name as registered with the sweep.
+        arrival_rate: The cell's arrival rate (tps).
+        replication: The cell's replication index.
+    """
+    payload = config if isinstance(config, dict) else config_payload(config)
+    return digest(
+        {
+            "config": payload,
+            "protocol": protocol,
+            "arrival_rate": float(arrival_rate),
+            "replication": int(replication),
+        }
+    )

@@ -1,0 +1,178 @@
+"""The versioned experiment record: one cell's inputs and outcome.
+
+A :class:`RunRecord` is the unit the persistent store deals in — the cell
+coordinates (protocol, arrival rate, replication), the fingerprints that
+make it content-addressable, and the full
+:class:`~repro.metrics.stats.RunSummary`.  Records round-trip through
+canonical dicts/JSON bit-identically (floats survive via shortest-repr),
+which is what lets a resumed sweep assemble results indistinguishable from
+a cold run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.metrics.stats import RunSummary
+from repro.results.fingerprint import cell_fingerprint, config_payload, digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.parallel import CellOutcome
+
+__all__ = ["RECORD_SCHEMA", "RunRecord"]
+
+#: Version stamped into every serialized record.  Bump on any change to
+#: the dict layout; :meth:`RunRecord.from_dict` refuses other versions
+#: rather than guessing.
+RECORD_SCHEMA = 1
+
+_REQUIRED_KEYS = frozenset(
+    {
+        "schema",
+        "fingerprint",
+        "config_fingerprint",
+        "scenario",
+        "protocol",
+        "arrival_rate",
+        "replication",
+        "seed",
+        "elapsed",
+        "summary",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One persisted experiment cell: coordinates, fingerprints, metrics.
+
+    Attributes:
+        fingerprint: Content address of the cell —
+            :func:`~repro.results.fingerprint.cell_fingerprint` over the
+            config payload plus ``(protocol, arrival_rate, replication)``.
+        config_fingerprint: Fingerprint of the cell-shaping config alone;
+            lets consumers group records by experiment without re-deriving.
+        protocol: Protocol name as registered with the sweep.
+        arrival_rate: Arrival rate of the cell (tps).
+        replication: Replication index (the workload-stream selector).
+        seed: Root seed the replication streams were spawned from.
+        summary: The cell's full metrics.
+        scenario: Registered scenario name when the sweep ran one
+            (metadata only — the workload spec itself is fingerprinted).
+        elapsed: Wall-clock seconds the cell took when first computed.
+    """
+
+    fingerprint: str
+    config_fingerprint: str
+    protocol: str
+    arrival_rate: float
+    replication: int
+    seed: int
+    summary: RunSummary
+    scenario: Optional[str] = None
+    elapsed: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form, invertible by :meth:`from_dict`."""
+        return {
+            "schema": RECORD_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "config_fingerprint": self.config_fingerprint,
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "arrival_rate": self.arrival_rate,
+            "replication": self.replication,
+            "seed": self.seed,
+            "elapsed": self.elapsed,
+            "summary": self.summary.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRecord":
+        """Rebuild a record from its :meth:`to_dict` form.
+
+        Raises:
+            ConfigurationError: On a wrong schema version, missing or
+                unknown keys, or a malformed summary — the corruption
+                signal the store's tolerant loader keys off.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"run record payload must be a dict, got {type(payload).__name__}"
+            )
+        schema = payload.get("schema")
+        if schema != RECORD_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported run-record schema {schema!r} "
+                f"(this library reads schema {RECORD_SCHEMA})"
+            )
+        missing = _REQUIRED_KEYS - set(payload)
+        unknown = set(payload) - _REQUIRED_KEYS
+        if missing or unknown:
+            raise ConfigurationError(
+                f"run record payload mismatch: missing {sorted(missing)}, "
+                f"unknown {sorted(unknown)}"
+            )
+        try:
+            summary = RunSummary.from_dict(payload["summary"])
+        except Exception as exc:
+            raise ConfigurationError(f"bad run-record summary: {exc}") from exc
+        return cls(
+            fingerprint=payload["fingerprint"],
+            config_fingerprint=payload["config_fingerprint"],
+            protocol=payload["protocol"],
+            arrival_rate=payload["arrival_rate"],
+            replication=payload["replication"],
+            seed=payload["seed"],
+            summary=summary,
+            scenario=payload["scenario"],
+            elapsed=payload["elapsed"],
+        )
+
+    @classmethod
+    def from_outcome(
+        cls,
+        config: "ExperimentConfig",
+        outcome: "CellOutcome",
+        scenario: Optional[str] = None,
+        config_payload_dict: Optional[dict] = None,
+    ) -> "RunRecord":
+        """Build the record for one successful :class:`CellOutcome`.
+
+        Args:
+            config: The experiment config the cell ran under.
+            outcome: A successful outcome (``outcome.ok`` must hold —
+                failed cells are never persisted, so reruns retry them).
+            scenario: Optional scenario name, stored as metadata.
+            config_payload_dict: Precomputed
+                :func:`~repro.results.fingerprint.config_payload`, to
+                amortize payload construction over a whole grid.
+        """
+        if not outcome.ok or outcome.summary is None:
+            raise ConfigurationError(
+                f"cannot record failed cell {outcome.cell.describe()}"
+            )
+        payload = (
+            config_payload_dict
+            if config_payload_dict is not None
+            else config_payload(config)
+        )
+        return cls(
+            fingerprint=cell_fingerprint(
+                payload,
+                outcome.cell.protocol,
+                outcome.cell.arrival_rate,
+                outcome.cell.replication,
+            ),
+            config_fingerprint=digest(payload),
+            protocol=outcome.cell.protocol,
+            arrival_rate=float(outcome.cell.arrival_rate),
+            replication=outcome.cell.replication,
+            seed=config.seed,
+            summary=outcome.summary,
+            scenario=scenario,
+            elapsed=outcome.elapsed,
+        )

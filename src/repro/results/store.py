@@ -1,0 +1,204 @@
+"""Append-only JSONL store of run records, indexed by cell fingerprint.
+
+Design:
+
+* **Append-only JSONL.**  One canonical-JSON record per line.  Appends are
+  a single buffered write followed by flush + fsync, so a record is either
+  durably on disk or not there at all; a sweep killed mid-cell loses at
+  most the line being written.
+* **Fingerprint index.**  Loading builds a ``fingerprint -> RunRecord``
+  map (last record wins, so re-running a cell supersedes its old entry
+  without rewriting the file).
+* **Corruption-tolerant reads.**  A line that fails JSON decoding or
+  record validation — the classic truncated-last-line left by a kill — is
+  counted in :attr:`RunStore.corrupt_lines` and skipped; the affected cell
+  simply reruns and appends a fresh record.
+
+The store is deliberately *not* a database: a sweep grid tops out at
+thousands of cells, each record is ~1 KB, and the whole index fits in
+memory.  JSONL keeps every record greppable, diffable, and recoverable
+with a text editor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.errors import ConfigurationError, ReproError
+from repro.results.fingerprint import canonical_dumps
+from repro.results.record import RunRecord
+
+__all__ = ["RunStore", "write_json_atomic"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_json_atomic(path: PathLike, payload: dict) -> None:
+    """Write ``payload`` as pretty JSON via a same-directory temp file.
+
+    ``os.replace`` makes the swap atomic on POSIX: readers see either the
+    old file or the complete new one, never a partial write.  Used for
+    whole-document outputs (benchmark results, exports) as the counterpart
+    of the store's per-line appends.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class RunStore:
+    """Persistent, resumable collection of :class:`RunRecord` objects.
+
+    Usable as a context manager; :meth:`close` releases the append handle
+    (records stay loaded).  Opening a nonexistent path starts an empty
+    store whose file materializes on first append.
+
+    Args:
+        path: The JSONL file backing the store.  Parent directories are
+            created eagerly so the first append cannot fail on a missing
+            directory mid-sweep.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = os.fspath(path)
+        self._index: dict[str, RunRecord] = {}
+        self._order: list[str] = []
+        self.corrupt_lines = 0
+        self._handle = None
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        if os.path.exists(self.path):
+            self._load()
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = RunRecord.from_dict(json.loads(line.decode("utf-8")))
+            except (ValueError, UnicodeDecodeError, ConfigurationError):
+                # Truncated tail of a killed append, or garbage: skip the
+                # line — the cell it held will simply be recomputed.
+                self.corrupt_lines += 1
+                continue
+            self._insert(record)
+
+    def _insert(self, record: RunRecord) -> None:
+        if record.fingerprint not in self._index:
+            self._order.append(record.fingerprint)
+        self._index[record.fingerprint] = record
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[RunRecord]:
+        """The stored record for ``fingerprint``, or ``None``."""
+        return self._index.get(fingerprint)
+
+    def records(self) -> list[RunRecord]:
+        """All current records, in first-appended order (last write wins)."""
+        return [self._index[fp] for fp in self._order]
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.records())
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def append(self, record: RunRecord) -> None:
+        """Durably append one record and index it.
+
+        The line is flushed and fsync'd before the index updates, so a
+        record the in-memory index reports is guaranteed to be on disk.
+        """
+        if not isinstance(record, RunRecord):
+            raise ConfigurationError(
+                f"RunStore.append takes a RunRecord, got {type(record).__name__}"
+            )
+        if self._handle is None:
+            self._handle = self._open_for_append()
+        line = canonical_dumps(record.to_dict())
+        try:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise ReproError(f"cannot append to run store {self.path}: {exc}") from exc
+        self._insert(record)
+
+    def _open_for_append(self):
+        # A file killed mid-append can end in a torn line with no trailing
+        # newline; appending straight after it would weld the fresh record
+        # onto the garbage and lose both.  Terminate the tail first.
+        needs_newline = False
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > 0:
+                    fh.seek(-1, os.SEEK_END)
+                    needs_newline = fh.read(1) != b"\n"
+        except FileNotFoundError:
+            pass
+        handle = open(self.path, "a", encoding="utf-8")
+        if needs_newline:
+            handle.write("\n")
+        return handle
+
+    def extend(self, records: Iterable[RunRecord]) -> None:
+        """Append several records (each individually durable)."""
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the append handle; the loaded index stays usable."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"RunStore(path={self.path!r}, records={len(self)}, "
+            f"corrupt_lines={self.corrupt_lines})"
+        )

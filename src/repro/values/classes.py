@@ -75,6 +75,24 @@ class TransactionClass:
             return math.inf
         return math.tan(math.radians(self.alpha_degrees))
 
+    def to_dict(self) -> dict:
+        """Plain-dict form of the class parameters.
+
+        ``execution`` is omitted: it is derived state (``compare=False``,
+        excluded from equality) that the system model reconstructs from the
+        step count and service time, so serialized classes round-trip
+        through ``TransactionClass(**payload)``.
+        """
+        return {
+            "name": self.name,
+            "num_steps": self.num_steps,
+            "write_probability": self.write_probability,
+            "slack_factor": self.slack_factor,
+            "value": self.value,
+            "alpha_degrees": self.alpha_degrees,
+            "weight": self.weight,
+        }
+
     def with_execution(self, execution: ExecutionDistribution) -> "TransactionClass":
         """Return a copy of this class with the execution distribution set."""
         return TransactionClass(

@@ -132,24 +132,12 @@ class Scenario:
             "description": self.description,
             "arrivals": self.arrivals.to_dict(),
             "access": self.access.to_dict(),
-            "classes": [_class_to_dict(cls) for cls in self.classes],
+            "classes": [cls.to_dict() for cls in self.classes],
             "deadlines": self.deadlines.to_dict(),
             "num_pages": self.num_pages,
             "arrival_rates": list(self.arrival_rates),
             "stresses": self.stresses,
         }
-
-
-def _class_to_dict(cls: TransactionClass) -> dict:
-    return {
-        "name": cls.name,
-        "num_steps": cls.num_steps,
-        "write_probability": cls.write_probability,
-        "slack_factor": cls.slack_factor,
-        "value": cls.value,
-        "alpha_degrees": cls.alpha_degrees,
-        "weight": cls.weight,
-    }
 
 
 def scenario_from_dict(payload: dict) -> Scenario:

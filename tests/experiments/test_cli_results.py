@@ -1,0 +1,173 @@
+"""Tests for the CLI's store/format/results surface."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.results import RunStore
+from repro.results.record import RunRecord
+
+REDUCED = ["--transactions", "120", "--replications", "1", "--rates", "60,120"]
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_store_flag_persists_and_resumes(tmp_path, capsys):
+    store_path = str(tmp_path / "runs.jsonl")
+    argv = ["fig13a", *REDUCED, "--store", store_path]
+    code, cold_out = run_cli(argv, capsys)
+    assert code == 0
+    assert "0/8 cells reused, 8 computed" in cold_out
+    assert len(RunStore(store_path)) == 8
+    code, warm_out = run_cli(argv, capsys)
+    assert code == 0
+    assert "8/8 cells reused, 0 computed" in warm_out
+    # Identical tables (modulo the timing-dependent status line).
+    strip = lambda text: [l for l in text.splitlines() if not l.startswith("[")]
+    assert strip(cold_out) == strip(warm_out)
+
+
+def test_format_json_emits_canonical_records(capsys):
+    code, out = run_cli(
+        ["fig13a", "--transactions", "120", "--replications", "1",
+         "--rates", "60", "--format", "json"],
+        capsys,
+    )
+    assert code == 0
+    payloads = json.loads(out)
+    assert len(payloads) == 4  # fig13's four protocols, one rate, one rep
+    records = [RunRecord.from_dict(p) for p in payloads]
+    assert {r.protocol for r in records} == {
+        "SCC-2S", "OCC-BC", "WAIT-50", "2PL-PA"
+    }
+    assert all(r.arrival_rate == 60.0 for r in records)
+
+
+def test_format_csv_emits_flat_rows(capsys):
+    code, out = run_cli(
+        ["fig13a", "--transactions", "120", "--replications", "1",
+         "--rates", "60", "--format", "csv"],
+        capsys,
+    )
+    assert code == 0
+    rows = list(csv.reader(io.StringIO(out)))
+    assert rows[0][0] == "fingerprint"
+    assert len(rows) == 5  # header + four protocols
+
+
+def test_results_list_renders_store(tmp_path, capsys):
+    store_path = str(tmp_path / "runs.jsonl")
+    run_cli(["fig13a", *REDUCED, "--store", store_path], capsys)
+    code, out = run_cli(["results", "list", "--store", store_path], capsys)
+    assert code == 0
+    assert "8 record(s)" in out
+    assert "SCC-2S" in out and "2PL-PA" in out
+
+
+def test_results_export_csv(tmp_path, capsys):
+    store_path = str(tmp_path / "runs.jsonl")
+    run_cli(["fig13a", *REDUCED, "--store", store_path], capsys)
+    code, out = run_cli(
+        ["results", "export", "--store", store_path, "--format", "csv"], capsys
+    )
+    assert code == 0
+    rows = list(csv.reader(io.StringIO(out)))
+    assert len(rows) == 9  # header + 8 cells
+
+
+def test_results_diff_clean_and_drifted(tmp_path, capsys):
+    store_a = str(tmp_path / "a.jsonl")
+    run_cli(["fig13a", *REDUCED, "--store", store_a], capsys)
+    store_b = str(tmp_path / "b.jsonl")
+    records = RunStore(store_a).records()
+    with RunStore(store_b) as store:
+        store.extend(records[:-1])  # drop one cell
+    code, out = run_cli(
+        ["results", "diff", "--store", store_a, "--against", store_b], capsys
+    )
+    assert code == 1  # coverage mismatch is a difference too
+    assert "identical cells : 7" in out
+    assert "only in A       : 1" in out
+    # Equal stores diff clean.
+    code, out = run_cli(
+        ["results", "diff", "--store", store_a, "--against", store_a], capsys
+    )
+    assert code == 0
+    assert "identical cells : 8" in out
+    # Now corrupt one metric in B: diff must flag it and exit nonzero.
+    import dataclasses
+
+    drifted = dataclasses.replace(
+        records[-1],
+        summary=dataclasses.replace(records[-1].summary, missed_ratio=99.0),
+    )
+    with RunStore(store_b) as store:
+        store.append(drifted)
+    code, out = run_cli(
+        ["results", "diff", "--store", store_a, "--against", store_b], capsys
+    )
+    assert code == 1
+    assert "changed cells   : 1" in out
+    assert "missed_ratio" in out
+
+
+def test_format_json_with_store_serves_stored_records(tmp_path, capsys):
+    store_path = str(tmp_path / "runs.jsonl")
+    argv = ["fig13a", "--transactions", "120", "--replications", "1",
+            "--rates", "60", "--store", store_path, "--format", "json"]
+    code, out = run_cli(argv, capsys)
+    assert code == 0
+    records = [RunRecord.from_dict(p) for p in json.loads(out)]
+    # Stored records carry the cells' real wall-clock, not the 0.0 the
+    # in-memory export path would fabricate.
+    assert all(r.elapsed > 0 for r in records)
+    # Warm re-run exports the identical stored records.
+    code, warm_out = run_cli(argv, capsys)
+    assert code == 0
+    assert json.loads(warm_out) == json.loads(out)
+
+
+def test_scenario_flag_stamps_stored_records(tmp_path, capsys):
+    store_path = str(tmp_path / "runs.jsonl")
+    code, _ = run_cli(
+        ["fig14a", "--scenario", "flash-sale-hotspot", "--transactions", "120",
+         "--replications", "1", "--rates", "100", "--store", store_path],
+        capsys,
+    )
+    assert code == 0
+    records = RunStore(store_path).records()
+    assert records
+    assert all(r.scenario == "flash-sale-hotspot" for r in records)
+
+
+def test_machine_formats_rejected_for_multi_document_commands():
+    for command in ("all", "fig3", "scenarios"):
+        with pytest.raises(SystemExit, match="not\\s+supported"):
+            main([command, "--format", "json"])
+
+
+def test_csv_output_has_unix_line_endings(capsys):
+    code, out = run_cli(
+        ["fig13a", "--transactions", "120", "--replications", "1",
+         "--rates", "60", "--format", "csv"],
+        capsys,
+    )
+    assert code == 0
+    assert "\r" not in out
+
+
+def test_results_without_store_errors():
+    with pytest.raises(SystemExit, match="--store"):
+        main(["results", "list"])
+
+
+def test_action_on_non_results_command_errors():
+    with pytest.raises(SystemExit, match="only applies"):
+        main(["fig13a", "list"])

@@ -1,0 +1,74 @@
+"""Tests for cell/config fingerprints: stability, sensitivity, reuse."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import baseline_config, two_class_config
+from repro.results.fingerprint import (
+    canonical_dumps,
+    cell_fingerprint,
+    config_fingerprint,
+    config_payload,
+    digest,
+)
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.scenarios import get_scenario
+
+
+def test_canonical_dumps_is_key_order_independent():
+    assert canonical_dumps({"b": 1, "a": 2}) == canonical_dumps({"a": 2, "b": 1})
+
+
+def test_canonical_dumps_rejects_nan():
+    with pytest.raises(ValueError):
+        canonical_dumps({"x": math.nan})
+
+
+def test_digest_is_stable_across_calls():
+    payload = config_payload(baseline_config())
+    assert digest(payload) == digest(config_payload(baseline_config()))
+
+
+def test_config_fingerprint_differs_across_configs():
+    fingerprints = {
+        config_fingerprint(baseline_config()),
+        config_fingerprint(two_class_config()),
+        config_fingerprint(baseline_config(seed=7)),
+        config_fingerprint(baseline_config(num_transactions=999)),
+        config_fingerprint(get_scenario("flash-sale-hotspot").to_config()),
+    }
+    assert len(fingerprints) == 5
+
+
+def test_grid_axes_do_not_enter_the_fingerprint():
+    # Extending the sweep axis or replication count must reuse stored
+    # cells, so arrival_rates/replications are excluded by design.
+    base = baseline_config()
+    wider = baseline_config(arrival_rates=(10.0, 999.0), replications=9)
+    assert config_fingerprint(base) == config_fingerprint(wider)
+
+
+def test_none_workload_equals_explicit_default_spec():
+    # config.workload=None means the paper baseline; an explicit default
+    # WorkloadSpec generates a bit-identical workload and must hash alike.
+    assert config_fingerprint(baseline_config()) == config_fingerprint(
+        baseline_config(workload=WorkloadSpec())
+    )
+
+
+def test_cell_fingerprint_covers_coordinates():
+    config = baseline_config()
+    base = cell_fingerprint(config, "SCC-2S", 50.0, 0)
+    assert cell_fingerprint(config, "SCC-2S", 50.0, 0) == base
+    assert cell_fingerprint(config, "OCC-BC", 50.0, 0) != base
+    assert cell_fingerprint(config, "SCC-2S", 60.0, 0) != base
+    assert cell_fingerprint(config, "SCC-2S", 50.0, 1) != base
+
+
+def test_cell_fingerprint_accepts_precomputed_payload():
+    config = baseline_config()
+    payload = config_payload(config)
+    assert cell_fingerprint(payload, "SCC-2S", 50.0, 0) == cell_fingerprint(
+        config, "SCC-2S", 50.0, 0
+    )

@@ -1,0 +1,100 @@
+"""Tests for RunRecord / RunSummary canonical serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.metrics.stats import RunSummary
+from repro.results.record import RECORD_SCHEMA, RunRecord
+
+
+def make_summary(**overrides) -> RunSummary:
+    values = dict(
+        committed=108,
+        missed_ratio=2.7777777777777777,
+        avg_tardiness_late=0.03860214999917,
+        avg_tardiness_all=0.0010722819444214,
+        system_value=99.89321508534233,
+        avg_response_time=0.13119754623119,
+        restarts=17,
+        shadow_aborts=23,
+        wasted_work=1.2345678901234567,
+        useful_work=13.876543210987654,
+        deferred_commits=4,
+        per_class_missed={"baseline": 2.7777777777777777},
+        per_class_value={"baseline": 99.89321508534233},
+    )
+    values.update(overrides)
+    return RunSummary(**values)
+
+
+def make_record(**overrides) -> RunRecord:
+    values = dict(
+        fingerprint="ab" * 16,
+        config_fingerprint="cd" * 16,
+        protocol="SCC-2S",
+        arrival_rate=70.0,
+        replication=1,
+        seed=901995,
+        summary=make_summary(),
+        scenario="paper-baseline",
+        elapsed=0.125,
+    )
+    values.update(overrides)
+    return RunRecord(**values)
+
+
+def test_summary_round_trips_bit_identically_through_json():
+    summary = make_summary()
+    rebuilt = RunSummary.from_dict(json.loads(json.dumps(summary.to_dict())))
+    assert rebuilt == summary
+
+
+def test_summary_from_dict_rejects_schema_drift():
+    payload = make_summary().to_dict()
+    payload["surprise_metric"] = 1.0
+    with pytest.raises(ProtocolError, match="surprise_metric"):
+        RunSummary.from_dict(payload)
+    short = make_summary().to_dict()
+    del short["committed"]
+    with pytest.raises(ProtocolError, match="committed"):
+        RunSummary.from_dict(short)
+
+
+def test_record_round_trips_bit_identically_through_json():
+    record = make_record()
+    rebuilt = RunRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+    assert rebuilt == record
+
+
+def test_record_serializes_schema_version():
+    assert make_record().to_dict()["schema"] == RECORD_SCHEMA
+
+
+def test_record_from_dict_rejects_other_schema_versions():
+    payload = make_record().to_dict()
+    payload["schema"] = RECORD_SCHEMA + 1
+    with pytest.raises(ConfigurationError, match="schema"):
+        RunRecord.from_dict(payload)
+
+
+def test_record_from_dict_rejects_missing_and_unknown_keys():
+    payload = make_record().to_dict()
+    payload["extra"] = 1
+    with pytest.raises(ConfigurationError, match="extra"):
+        RunRecord.from_dict(payload)
+    short = make_record().to_dict()
+    del short["protocol"]
+    with pytest.raises(ConfigurationError, match="protocol"):
+        RunRecord.from_dict(short)
+
+
+def test_record_from_dict_rejects_non_dict():
+    with pytest.raises(ConfigurationError):
+        RunRecord.from_dict("not a dict")
+
+
+def test_record_none_scenario_round_trips():
+    record = make_record(scenario=None)
+    assert RunRecord.from_dict(record.to_dict()).scenario is None

@@ -1,0 +1,203 @@
+"""Store-backed sweeps: resume semantics, failure paths, bit-identity."""
+
+import pytest
+
+from repro.core.scc_2s import SCC2S
+from repro.errors import SweepExecutionError
+from repro.experiments.config import baseline_config
+from repro.experiments.figures import run_scenario
+from repro.experiments.parallel import CellError, CellOutcome
+from repro.experiments.runner import assemble_results, build_cells, run_sweep
+from repro.protocols.occ_bc import OCCBroadcastCommit
+from repro.results import RunStore
+
+SMALL = baseline_config(
+    num_transactions=80,
+    warmup_commits=8,
+    replications=2,
+    arrival_rates=(40.0, 90.0),
+    check_serializability=False,
+)
+
+
+def counting(factory):
+    """Wrap a protocol factory, counting how many cells actually ran."""
+    calls = []
+
+    def wrapped():
+        calls.append(1)
+        return factory()
+
+    return wrapped, calls
+
+
+def test_cold_store_run_matches_storeless_run(tmp_path):
+    protocols = {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}
+    plain = run_sweep(protocols, SMALL)
+    stored = run_sweep(protocols, SMALL, store=tmp_path / "runs.jsonl")
+    for name in protocols:
+        assert stored[name].replications == plain[name].replications
+
+
+def test_resume_runs_only_missing_cells_and_is_bit_identical(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    protocols = {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}
+    cold = run_sweep(protocols, SMALL)
+
+    # Interrupted sweep: only the first arrival rate got done.
+    run_sweep(protocols, SMALL, arrival_rates=[40.0], store=path)
+    assert len(RunStore(path)) == 4
+
+    factory, calls = counting(SCC2S)
+    factory2, calls2 = counting(OCCBroadcastCommit)
+    resumed = run_sweep(
+        {"SCC-2S": factory, "OCC-BC": factory2}, SMALL, store=path
+    )
+    # Only the 90.0-rate cells ran (2 protocols x 2 replications).
+    assert len(calls) == 2 and len(calls2) == 2
+    for name in protocols:
+        assert resumed[name].replications == cold[name].replications
+        assert resumed[name].arrival_rates == cold[name].arrival_rates
+
+
+def test_fully_warm_store_runs_nothing(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    protocols = {"SCC-2S": SCC2S}
+    first = run_sweep(protocols, SMALL, store=path)
+    factory, calls = counting(SCC2S)
+    warm = run_sweep({"SCC-2S": factory}, SMALL, store=path)
+    assert calls == []
+    assert warm["SCC-2S"].replications == first["SCC-2S"].replications
+
+
+def test_truncated_store_reruns_only_the_lost_cell(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    run_sweep({"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, SMALL, store=path)
+    with open(path, "rb+") as fh:
+        data = fh.read()
+        fh.seek(0)
+        fh.truncate()
+        fh.write(data[:-30])  # simulate a kill mid-append
+    recovered = RunStore(path)
+    assert recovered.corrupt_lines == 1
+    assert len(recovered) == 7
+    factory, calls = counting(SCC2S)
+    factory2, calls2 = counting(OCCBroadcastCommit)
+    cold = run_sweep({"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, SMALL)
+    resumed = run_sweep(
+        {"SCC-2S": factory, "OCC-BC": factory2}, SMALL, store=recovered
+    )
+    assert len(calls) + len(calls2) == 1  # just the torn cell
+    for name in ("SCC-2S", "OCC-BC"):
+        assert resumed[name].replications == cold[name].replications
+
+
+def test_store_accepts_instance_and_path_equally(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    via_path = run_sweep({"SCC-2S": SCC2S}, SMALL, store=str(path))
+    via_instance = run_sweep({"SCC-2S": SCC2S}, SMALL, store=RunStore(path))
+    assert via_path["SCC-2S"].replications == via_instance["SCC-2S"].replications
+
+
+def test_failed_cells_are_not_persisted_and_retry_on_rerun(tmp_path):
+    path = tmp_path / "runs.jsonl"
+
+    class Exploding:
+        name = "EXPLODING"
+
+        def __getattr__(self, attr):
+            raise RuntimeError("protocol cannot run")
+
+    config = SMALL.scaled(replications=1, arrival_rates=[40.0])
+    with pytest.raises(SweepExecutionError) as excinfo:
+        run_sweep({"SCC-2S": SCC2S, "BAD": Exploding}, config, store=path)
+    assert [f.cell.protocol for f in excinfo.value.failures] == ["BAD"]
+    # The good cell was persisted before the sweep raised; the bad one
+    # was not, so a fixed rerun retries exactly it.
+    store = RunStore(path)
+    assert len(store) == 1
+    assert store.records()[0].protocol == "SCC-2S"
+    factory, calls = counting(OCCBroadcastCommit)
+    fixed = run_sweep({"SCC-2S": SCC2S, "BAD": factory}, config, store=path)
+    assert len(calls) == 1
+    assert set(fixed) == {"SCC-2S", "BAD"}
+
+
+def test_store_refuses_custom_resource_factories(tmp_path):
+    # Resource managers are not fingerprinted; caching across resource
+    # models must be an error, never silently-wrong cached results.
+    from repro.errors import ConfigurationError
+    from repro.system.resources import FiniteResources
+
+    factory = lambda cfg: FiniteResources(cfg.cpu_time, cfg.io_time, num_servers=2)
+    with pytest.raises(ConfigurationError, match="resources"):
+        run_sweep({"SCC-2S": SCC2S}, SMALL, resources=factory,
+                  store=tmp_path / "runs.jsonl")
+
+
+def test_scenario_name_is_recorded_as_metadata(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    run_scenario(
+        "flash-sale-hotspot",
+        protocols={"SCC-2S": SCC2S},
+        arrival_rates=[60.0],
+        store=path,
+        num_transactions=80,
+        warmup_commits=8,
+        replications=1,
+        check_serializability=False,
+    )
+    records = RunStore(path).records()
+    assert records and all(r.scenario == "flash-sale-hotspot" for r in records)
+
+
+def test_store_round_trip_preserves_seed_and_coordinates(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    run_sweep({"SCC-2S": SCC2S}, SMALL, store=path)
+    for record in RunStore(path):
+        assert record.seed == SMALL.seed
+        assert record.protocol == "SCC-2S"
+        assert record.arrival_rate in SMALL.arrival_rates
+        assert record.replication in (0, 1)
+        assert record.elapsed > 0
+
+
+# ----------------------------------------------------------------------
+# assemble_results failure aggregation
+# ----------------------------------------------------------------------
+
+
+def _outcome(cell, summary=None, error=None):
+    return CellOutcome(cell=cell, summary=summary, error=error, elapsed=0.0)
+
+
+def test_assemble_results_aggregates_every_failure():
+    cells = build_cells(["P1", "P2"], [40.0], 2)
+    error = CellError(exc_type="RuntimeError", message="boom", traceback="tb")
+    outcomes = [
+        _outcome(cells[0], error=error),
+        _outcome(cells[1], error=error),
+        _outcome(cells[2], error=error),
+        _outcome(cells[3], error=error),
+    ]
+    with pytest.raises(SweepExecutionError) as excinfo:
+        assemble_results(["P1", "P2"], [40.0], 2, outcomes)
+    failures = excinfo.value.failures
+    assert len(failures) == 4
+    assert [f.cell.protocol for f in failures] == ["P1", "P1", "P2", "P2"]
+    assert "4 sweep cell(s) failed" in str(excinfo.value)
+    assert "RuntimeError" in str(excinfo.value)
+
+
+def test_assemble_results_mixed_failures_report_only_the_failed_cells():
+    cells = build_cells(["P1"], [40.0, 90.0], 1)
+    error = CellError(exc_type="ValueError", message="bad", traceback="tb")
+    from tests.results.test_record import make_summary
+
+    outcomes = [
+        _outcome(cells[0], summary=make_summary()),
+        _outcome(cells[1], error=error),
+    ]
+    with pytest.raises(SweepExecutionError) as excinfo:
+        assemble_results(["P1"], [40.0, 90.0], 1, outcomes)
+    assert [f.cell.arrival_rate for f in excinfo.value.failures] == [90.0]

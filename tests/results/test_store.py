@@ -1,0 +1,118 @@
+"""Tests for the JSONL RunStore: durability, indexing, corruption tolerance."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.results.store import RunStore, write_json_atomic
+
+from tests.results.test_record import make_record
+
+
+def test_append_then_get(tmp_path):
+    store = RunStore(tmp_path / "runs.jsonl")
+    record = make_record()
+    store.append(record)
+    assert store.get(record.fingerprint) == record
+    assert record.fingerprint in store
+    assert len(store) == 1
+    assert list(store) == [record]
+
+
+def test_records_survive_reopen(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    with RunStore(path) as store:
+        store.append(make_record(fingerprint="aa" * 16))
+        store.append(make_record(fingerprint="bb" * 16))
+    reopened = RunStore(path)
+    assert len(reopened) == 2
+    assert [r.fingerprint for r in reopened] == ["aa" * 16, "bb" * 16]
+    assert reopened.corrupt_lines == 0
+
+
+def test_missing_file_is_an_empty_store(tmp_path):
+    path = tmp_path / "never-written.jsonl"
+    store = RunStore(path)
+    assert len(store) == 0
+    assert not os.path.exists(path)  # file materializes on first append
+
+
+def test_parent_directories_are_created(tmp_path):
+    store = RunStore(tmp_path / "deep" / "nested" / "runs.jsonl")
+    store.append(make_record())
+    assert len(RunStore(tmp_path / "deep" / "nested" / "runs.jsonl")) == 1
+
+
+def test_last_record_wins_per_fingerprint(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    store = RunStore(path)
+    store.append(make_record(elapsed=1.0))
+    store.append(make_record(elapsed=2.0))
+    assert len(store) == 1
+    assert store.records()[0].elapsed == 2.0
+    # The superseding record also wins after a reload.
+    assert RunStore(path).records()[0].elapsed == 2.0
+
+
+def test_truncated_last_line_is_tolerated(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    store = RunStore(path)
+    store.append(make_record(fingerprint="aa" * 16))
+    store.append(make_record(fingerprint="bb" * 16))
+    store.close()
+    with open(path, "rb+") as fh:
+        data = fh.read()
+        fh.seek(0)
+        fh.truncate()
+        fh.write(data[:-25])  # kill mid-append: last line cut short
+    recovered = RunStore(path)
+    assert recovered.corrupt_lines == 1
+    assert len(recovered) == 1
+    assert recovered.get("aa" * 16) is not None
+    assert recovered.get("bb" * 16) is None
+
+
+def test_garbage_and_blank_lines_are_skipped(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    record = make_record()
+    with open(path, "w") as fh:
+        fh.write("\n")
+        fh.write("not json at all\n")
+        fh.write(json.dumps({"schema": 99, "weird": True}) + "\n")
+        fh.write(json.dumps(record.to_dict()) + "\n")
+    store = RunStore(path)
+    assert store.corrupt_lines == 2  # blank lines don't count as corrupt
+    assert len(store) == 1
+    assert store.get(record.fingerprint) == record
+
+
+def test_appending_after_recovery_keeps_the_store_readable(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    with open(path, "w") as fh:
+        fh.write('{"schema": 1, "trunc')  # torn line, no newline
+    store = RunStore(path)
+    assert store.corrupt_lines == 1
+    store.append(make_record())
+    store.close()
+    # The torn line and the fresh record now share the file; only the
+    # torn line is lost.
+    reopened = RunStore(path)
+    assert len(reopened) == 1
+    assert reopened.corrupt_lines == 1
+
+
+def test_append_rejects_non_records(tmp_path):
+    store = RunStore(tmp_path / "runs.jsonl")
+    with pytest.raises(ConfigurationError):
+        store.append({"schema": 1})
+
+
+def test_write_json_atomic_replaces_whole_documents(tmp_path):
+    path = tmp_path / "doc.json"
+    write_json_atomic(path, {"a": 1})
+    write_json_atomic(path, {"b": 2})
+    with open(path) as fh:
+        assert json.load(fh) == {"b": 2}
+    assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]  # no temp litter

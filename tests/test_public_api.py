@@ -28,6 +28,7 @@ def test_version():
         "repro.experiments",
         "repro.metrics",
         "repro.protocols",
+        "repro.results",
         "repro.system",
         "repro.txn",
         "repro.values",
