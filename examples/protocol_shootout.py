@@ -1,37 +1,34 @@
 """Protocol shootout: every concurrency control on the same workloads.
 
-Replays the paper's Figure 13 comparison at small scale: identical
-workload streams (same seeds) through 2PL-PA, basic OCC, OCC-BC, WAIT-50,
-SCC-2S, SCC-CB, and SCC-VW, across three load levels, printing Missed
-Ratio, Average Tardiness, restarts, and wasted work side by side.
+Replays the paper's Figure 13 comparison at small scale through the
+declarative experiment API: one fluent chain names every registry
+protocol — 2PL-PA, basic OCC, OCC-BC, WAIT-50, SCC-2S, SCC-CB, and
+SCC-VW — and sweeps three load levels over identical workload streams
+(same seeds), printing Missed Ratio, Average Tardiness, restarts, and
+wasted work side by side.
+
+Because the roster is just registry spec strings, variants are one edit
+away: swap in ``"scc-ks?k=5"`` or ``"wait-50?wait_threshold=0.75"`` to
+extend the shootout.
 
 Run:  python examples/protocol_shootout.py [--transactions N]
 """
 
 import argparse
 
-from repro import (
-    BasicOCC,
-    OCCBroadcastCommit,
-    SCC2S,
-    SCCCB,
-    SCCVW,
-    TwoPhaseLockingPA,
-    Wait50,
-)
-from repro.experiments.config import baseline_config
-from repro.experiments.runner import run_once
+from repro import Experiment
 from repro.metrics.report import format_table
 
-PROTOCOLS = {
-    "2PL-PA": TwoPhaseLockingPA,
-    "OCC": BasicOCC,
-    "OCC-BC": OCCBroadcastCommit,
-    "WAIT-50": Wait50,
-    "SCC-2S": SCC2S,
-    "SCC-CB": SCCCB,
-    "SCC-VW": lambda: SCCVW(period=0.01),
-}
+PROTOCOLS = (
+    "2pl-pa",
+    "occ",
+    "occ-bc",
+    "wait-50",
+    "scc-2s",
+    "scc-cb",
+    "scc-vw",
+)
+RATES = (40.0, 100.0, 160.0)
 
 
 def main() -> None:
@@ -39,15 +36,20 @@ def main() -> None:
     parser.add_argument("--transactions", type=int, default=800)
     args = parser.parse_args()
 
-    config = baseline_config(
-        num_transactions=args.transactions,
-        warmup_commits=max(10, args.transactions // 10),
-        replications=1,
+    results = (
+        Experiment.baseline()
+        .protocols(*PROTOCOLS)
+        .rates(*RATES)
+        .transactions(args.transactions)
+        .warmup(max(10, args.transactions // 10))
+        .replications(1)
+        .run()
     )
-    for rate in (40.0, 100.0, 160.0):
+
+    for rate_index, rate in enumerate(RATES):
         rows = []
-        for name, factory in PROTOCOLS.items():
-            summary = run_once(factory, config, arrival_rate=rate)
+        for name, sweep in results.items():
+            summary = sweep.replications[rate_index][0]
             rows.append(
                 (
                     name,

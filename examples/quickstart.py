@@ -1,43 +1,36 @@
-"""Quickstart: run the paper's baseline workload under SCC-2S.
+"""Quickstart: the declarative experiment API on the paper's baseline.
 
-Builds the §4 baseline model (1,000-page database, 16-page transactions,
-25% updates, slack factor 2), pushes 1,000 transactions through SCC-2S at
-75 transactions/second on an infinite-resource RTDBS, and prints the
-primary measures plus a serializability check.
+Declares the experiment with the fluent :class:`~repro.experiments.spec.Experiment`
+builder — the §4 baseline scenario (1,000-page database, 16-page
+transactions, 25% updates, slack factor 2), SCC-2S from the protocol
+registry, 1,000 transactions at 75 transactions/second — runs it, and
+prints the primary measures.  The serializability of every committed
+history is checked inside the sweep itself.
+
+The same experiment as a JSON file (runnable via ``repro run spec.json``)
+is printed at the end: the builder, the spec file, and the library API
+are three views of one artifact.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    RTDBSystem,
-    RandomStreams,
-    SCC2S,
-    TransactionClass,
-    WorkloadGenerator,
-    check_serializable,
-)
+from repro import Experiment
 
 
 def main() -> None:
-    baseline = TransactionClass(
-        name="baseline",
-        num_steps=16,  # pages accessed per transaction
-        write_probability=0.25,  # chance each page is updated
-        slack_factor=2.0,  # deadline = arrival + 2 x estimated runtime
+    experiment = (
+        Experiment.scenario("paper-baseline")
+        .protocols("scc-2s")  # registry spec; try "scc-ks?k=3" or "occ-bc"
+        .rates(75.0)  # Poisson arrivals, transactions per second
+        .transactions(1_000)
+        .warmup(0)  # measure from the first commit
+        .replications(1)
     )
-    generator = WorkloadGenerator(
-        classes=[baseline],
-        num_pages=1_000,
-        arrival_rate=75.0,  # Poisson arrivals, transactions per second
-        step_duration=0.008,  # 1 ms CPU + 7 ms I/O per page
-        streams=RandomStreams(seed=42),
-    )
+    spec = experiment.build()
+    results = spec.run()
 
-    system = RTDBSystem(protocol=SCC2S(), num_pages=1_000)
-    system.load_workload(generator.generate(1_000))
-    system.run()
-
-    summary = system.metrics.summary()
+    sweep = results["SCC-2S"]
+    summary = sweep.replications[0][0]  # rate 75.0, replication 0
     print(f"committed transactions : {summary.committed}")
     print(f"missed ratio           : {summary.missed_ratio:.2f} %")
     print(f"avg tardiness (late)   : {summary.avg_tardiness_late * 1e3:.1f} ms")
@@ -45,7 +38,12 @@ def main() -> None:
     print(f"transaction restarts   : {summary.restarts}")
     print(f"shadow aborts          : {summary.shadow_aborts}")
     print(f"wasted work fraction   : {summary.wasted_fraction:.1%}")
-    print(f"history serializable   : {check_serializable(system.history)}")
+    # run() raises InvariantViolation on any non-serializable history, so
+    # reaching this line means every committed history passed the check.
+    print("history serializable   : True")
+
+    print("\nThe same experiment as a JSON spec (repro run spec.json):")
+    print(spec.to_json())
 
 
 if __name__ == "__main__":

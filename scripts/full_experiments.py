@@ -2,7 +2,11 @@
 
 Runs every figure of the paper at (near-)paper scale — 4000 completed
 transactions per run, multiple replications, the 10-200 tps sweep — and
-writes one JSON blob plus printable tables under results/.
+writes one JSON blob plus printable tables under results/.  Each figure
+is declared through the fluent :class:`~repro.experiments.spec.Experiment`
+builder, so the driver, the CLI (``repro run spec.json``), and ad-hoc
+library runs all share one experiment representation (and therefore one
+run-store identity per cell).
 
 Usage:  python scripts/full_experiments.py [--quick] [--workers 4]
                                            [--executor serial|process]
@@ -14,7 +18,7 @@ under DIR as it finishes, and a re-run after an interruption recomputes
 only the missing cells.  The figure sweeps share one store — fig13 and
 fig14(a)/15 overlap on three protocols over the same config, so the
 shared cells are computed once — while ablation A1 gets its own file
-(its ``SCC-2S`` label denotes an independently-constructed protocol).
+(its SCC-kS specs sweep an independent parameter axis).
 """
 
 import argparse
@@ -23,18 +27,15 @@ import sys
 import time
 
 from repro.errors import ConfigurationError
-from repro.experiments.config import baseline_config, two_class_config
+from repro.experiments.figures import run_ablation_k
 from repro.experiments.parallel import available_executors, resolve_executor
-from repro.experiments.figures import (
-    fig13_protocols,
-    fig14_protocols,
-    run_ablation_k,
-    run_sweep,
-)
+from repro.experiments.spec import Experiment
 from repro.metrics.report import format_series_table
 from repro.results import write_json_atomic
 
 RATES = (10, 25, 50, 75, 100, 125, 150, 175, 200)
+FIG13_PROTOCOLS = ("scc-2s", "occ-bc", "wait-50", "2pl-pa")
+FIG14_PROTOCOLS = ("scc-vw", "scc-2s", "occ-bc", "wait-50")
 
 
 def sweep_to_dict(results):
@@ -76,27 +77,33 @@ def main():
     except ConfigurationError as exc:
         parser.error(str(exc))
     txns = 1000 if args.quick else 4000
+    warmup = 50 if args.quick else 200
     reps = 1 if args.quick else 2
-    base = baseline_config(
-        num_transactions=txns, warmup_commits=200 if not args.quick else 50,
-        replications=reps, arrival_rates=RATES,
-    )
-    two = two_class_config(
-        num_transactions=txns, warmup_commits=200 if not args.quick else 50,
-        replications=reps, arrival_rates=RATES,
-    )
+
+    def experiment(protocols, scenario=None):
+        builder = (
+            Experiment.scenario(scenario) if scenario else Experiment.baseline()
+        )
+        return (
+            builder.protocols(*protocols)
+            .rates(*RATES)
+            .transactions(txns)
+            .warmup(warmup)
+            .replications(reps)
+        )
 
     def progress(name, rate, rep):
         print(f"  [{time.strftime('%H:%M:%S')}] {name} rate={rate} rep={rep}",
               file=sys.stderr, flush=True)
 
+    base = experiment(FIG13_PROTOCOLS).build().to_config()
     blob = {"config": {"transactions": txns, "replications": reps,
                        "rates": list(RATES), "step_ms": base.step_duration * 1e3}}
     t0 = time.time()
 
     print("== Figure 13 (baseline: missed ratio + tardiness) ==", flush=True)
-    r13 = run_sweep(fig13_protocols(), base, progress=progress, executor=executor,
-                    store=figures_store)
+    r13 = experiment(FIG13_PROTOCOLS).run(
+        progress=progress, executor=executor, store=figures_store)
     blob["fig13"] = sweep_to_dict(r13)
     print(format_series_table("rate", list(RATES),
           {n: s.missed_ratio() for n, s in r13.items()}, "Fig 13(a) Missed Ratio (%)"))
@@ -104,8 +111,8 @@ def main():
           {n: s.avg_tardiness() for n, s in r13.items()}, "Fig 13(b) Avg Tardiness (s)"))
 
     print("== Figures 14(a)/15 (one-class value runs) ==", flush=True)
-    r14a = run_sweep(fig14_protocols(), base, progress=progress, executor=executor,
-                     store=figures_store)
+    r14a = experiment(FIG14_PROTOCOLS).run(
+        progress=progress, executor=executor, store=figures_store)
     blob["fig14a_fig15"] = sweep_to_dict(r14a)
     print(format_series_table("rate", list(RATES),
           {n: s.system_value() for n, s in r14a.items()}, "Fig 14(a) System Value (%)"))
@@ -115,8 +122,8 @@ def main():
           {n: s.avg_tardiness() for n, s in r14a.items()}, "Fig 15(b) Avg Tardiness (s)"))
 
     print("== Figure 14(b) (two-class value runs) ==", flush=True)
-    r14b = run_sweep(fig14_protocols(), two, progress=progress, executor=executor,
-                     store=figures_store)
+    r14b = experiment(FIG14_PROTOCOLS, scenario="paper-two-class").run(
+        progress=progress, executor=executor, store=figures_store)
     blob["fig14b"] = sweep_to_dict(r14b)
     print(format_series_table("rate", list(RATES),
           {n: s.system_value() for n, s in r14b.items()}, "Fig 14(b) System Value (%)"))

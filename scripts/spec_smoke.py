@@ -1,0 +1,131 @@
+"""CI spec-smoke gate: `repro run spec.json` == hand-built run_sweep.
+
+Runs the committed experiment spec (``specs/ci-smoke.json``) end to end
+through the CLI's ``run`` command with ``--format json``, then runs the
+*same grid* through legacy :func:`repro.experiments.runner.run_sweep`
+with hand-constructed protocol factories and a hand-assembled scenario
+config — the pre-spec idiom — and asserts every cell's summary is
+**bit-identical** between the two paths.
+
+This is the acceptance gate of the declarative experiment API: the
+ExperimentSpec facade is a pure re-description of the imperative path,
+never a behavioural fork.  It also exercises the protocol registry's
+parameterized builds (``scc-ks?k=3``, ``wait-50?wait_threshold=0.25``)
+against directly-constructed ``SCCkS(k=3)`` / ``Wait50(0.25)`` instances.
+
+Usage:  python scripts/spec_smoke.py [--spec specs/ci-smoke.json]
+Exit codes: 0 OK, 1 mismatch.
+"""
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.core.scc_ks import SCCkS  # noqa: E402
+from repro.experiments.cli import main as cli_main  # noqa: E402
+from repro.experiments.runner import run_sweep  # noqa: E402
+from repro.protocols.occ_bc import OCCBroadcastCommit  # noqa: E402
+from repro.protocols.wait50 import Wait50  # noqa: E402
+from repro.workloads.scenarios import get_scenario  # noqa: E402
+
+DEFAULT_SPEC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "specs",
+    "ci-smoke.json",
+)
+
+# The hand-built twin of specs/ci-smoke.json: same grid, pre-spec idiom.
+LEGACY_PROTOCOLS = {
+    "SCC-3S": lambda: SCCkS(k=3),
+    "OCC-BC": OCCBroadcastCommit,
+    "WAIT-25": lambda: Wait50(wait_threshold=0.25),
+}
+SCENARIO = "flash-sale-hotspot"
+RATES = (60.0, 140.0)
+TRANSACTIONS = 200
+WARMUP = 20
+REPLICATIONS = 2
+
+
+def cli_records(spec_path: str) -> list[dict]:
+    """Run the spec through the CLI and return its JSON records."""
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        code = cli_main(["run", spec_path, "--format", "json"])
+    if code != 0:
+        raise SystemExit(f"FAIL: CLI run exited with {code}")
+    return json.loads(stdout.getvalue())
+
+
+def legacy_results() -> dict:
+    """The same grid through pre-spec run_sweep with hand-built factories."""
+    config = get_scenario(SCENARIO).to_config(
+        num_transactions=TRANSACTIONS,
+        warmup_commits=WARMUP,
+        replications=REPLICATIONS,
+        arrival_rates=RATES,
+    )
+    return run_sweep(LEGACY_PROTOCOLS, config)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spec", default=DEFAULT_SPEC)
+    args = parser.parse_args()
+
+    print(f"running {args.spec} through the CLI...", flush=True)
+    records = cli_records(args.spec)
+    by_cell = {
+        (r["protocol"], r["arrival_rate"], r["replication"]): r["summary"]
+        for r in records
+    }
+
+    print("running the hand-built legacy twin through run_sweep...", flush=True)
+    legacy = legacy_results()
+
+    expected_cells = len(LEGACY_PROTOCOLS) * len(RATES) * REPLICATIONS
+    if len(by_cell) != expected_cells or len(records) != expected_cells:
+        print(
+            f"FAIL: expected {expected_cells} cells, CLI produced "
+            f"{len(records)} records ({len(by_cell)} distinct)"
+        )
+        return 1
+
+    mismatches = 0
+    for name, sweep in legacy.items():
+        for rate, summaries in zip(sweep.arrival_rates, sweep.replications):
+            for replication, summary in enumerate(summaries):
+                key = (name, rate, replication)
+                if key not in by_cell:
+                    print(f"FAIL: CLI output is missing cell {key}")
+                    mismatches += 1
+                    continue
+                if by_cell[key] != summary.to_dict():
+                    print(f"FAIL: summaries differ at cell {key}")
+                    mismatches += 1
+    if mismatches:
+        print(f"FAIL: {mismatches} cell(s) differ between spec and legacy runs")
+        return 1
+
+    specs_seen = {r["protocol"]: r["protocol_spec"] for r in records}
+    for label, spec in specs_seen.items():
+        if not spec or "family" not in spec:
+            print(f"FAIL: record for {label} carries no protocol_spec")
+            return 1
+
+    print(
+        f"OK: {expected_cells} cells bit-identical between "
+        "`repro run` and legacy run_sweep; records carry protocol specs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

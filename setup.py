@@ -30,6 +30,9 @@ setup(
     entry_points={
         "console_scripts": [
             "scc-experiments = repro.experiments.cli:main",
+            # Short alias; `repro run experiment.json` executes a
+            # declarative ExperimentSpec (see repro.experiments.spec).
+            "repro = repro.experiments.cli:main",
         ],
     },
     classifiers=[

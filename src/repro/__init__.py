@@ -8,23 +8,27 @@ paper's baselines (2PL-PA, OCC, OCC-BC, WAIT-50), transaction value
 functions, and the full experiment harness regenerating every figure in
 the paper's evaluation.
 
-Quickstart::
+Quickstart (the declarative experiment API)::
 
-    from repro import (
-        RTDBSystem, SCC2S, WorkloadGenerator, RandomStreams, TransactionClass,
-    )
+    from repro import Experiment
 
-    streams = RandomStreams(seed=42)
-    generator = WorkloadGenerator(
-        classes=[TransactionClass("base", num_steps=16,
-                                  write_probability=0.25, slack_factor=2.0)],
-        num_pages=1000, arrival_rate=50.0, step_duration=0.006,
-        streams=streams,
+    results = (
+        Experiment.scenario("paper-baseline")
+        .protocols("scc-2s", "occ-bc")
+        .rates(50, 100)
+        .transactions(1000)
+        .replications(1)
+        .run()
     )
-    system = RTDBSystem(protocol=SCC2S(), num_pages=1000)
-    system.load_workload(generator.generate(1000))
-    system.run()
-    print(system.metrics.summary())
+    print(results["SCC-2S"].missed_ratio())
+
+Protocols are named registry specs (``"scc-ks?k=3"`` parameterizes the
+shadow budget — see ``repro.protocols.registry``); scenarios come from
+the workload registry (``repro.workloads.scenarios``); and the whole
+experiment serializes to JSON via ``ExperimentSpec`` for the CLI
+(``repro run experiment.json``).  The lower-level building blocks
+(``RTDBSystem``, ``WorkloadGenerator``, ``run_sweep``) remain public for
+custom harnesses.
 """
 
 from repro.analysis import History, check_serializable, serialization_order
@@ -48,12 +52,18 @@ from repro.errors import (
     SimulationError,
 )
 from repro.metrics import MetricsCollector, RunSummary, mean_confidence_interval
+from repro.experiments.spec import Experiment, ExperimentSpec
 from repro.protocols import (
     BasicOCC,
     OCCBroadcastCommit,
+    ProtocolSpec,
     SerialExecution,
     TwoPhaseLockingPA,
     Wait50,
+    available_protocols,
+    parse_protocol_spec,
+    protocol_spec,
+    register_protocol,
 )
 from repro.system import FiniteResources, InfiniteResources, RTDBSystem
 from repro.txn import Step, TransactionSpec, WorkloadGenerator
@@ -86,6 +96,8 @@ __all__ = [
     "ConfigurationError",
     "DeadlineAwareReplacement",
     "DiurnalArrivals",
+    "Experiment",
+    "ExperimentSpec",
     "FiniteResources",
     "History",
     "HotspotAccess",
@@ -98,6 +110,7 @@ __all__ = [
     "PartitionedAccess",
     "PoissonArrivals",
     "ProtocolError",
+    "ProtocolSpec",
     "RTDBSystem",
     "RandomStreams",
     "ReproError",
@@ -126,6 +139,7 @@ __all__ = [
     "WorkloadGenerator",
     "WorkloadSpec",
     "ZipfianAccess",
+    "available_protocols",
     "available_scenarios",
     "cell_fingerprint",
     "check_serializable",
@@ -133,6 +147,9 @@ __all__ = [
     "figure3_table",
     "get_scenario",
     "mean_confidence_interval",
+    "parse_protocol_spec",
+    "protocol_spec",
+    "register_protocol",
     "register_scenario",
     "scenario_from_dict",
     "serialization_order",

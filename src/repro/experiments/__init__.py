@@ -21,11 +21,19 @@ from repro.experiments.profiling import (
     capture_profile,
     profile_classes,
 )
-from repro.experiments.runner import SweepResult, run_once, run_sweep
+from repro.experiments.runner import (
+    SweepResult,
+    normalize_protocols,
+    run_once,
+    run_sweep,
+)
+from repro.experiments.spec import Experiment, ExperimentSpec
 
 __all__ = [
     "CellOutcome",
+    "Experiment",
     "ExperimentConfig",
+    "ExperimentSpec",
     "OnlineProfiler",
     "ProcessSweepExecutor",
     "ProgressReporter",
@@ -36,6 +44,7 @@ __all__ = [
     "available_executors",
     "baseline_config",
     "make_executor",
+    "normalize_protocols",
     "profile_classes",
     "run_once",
     "run_scenario",

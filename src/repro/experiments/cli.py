@@ -1,6 +1,6 @@
-"""Command-line entry point: regenerate any figure of the paper.
+"""Command-line entry point: figures, scenarios, and experiment specs.
 
-Usage::
+Installed as both ``scc-experiments`` and ``repro``.  Usage::
 
     scc-experiments fig13a [--transactions N] [--replications R]
                            [--rates 10,50,100,150,200] [--seed S]
@@ -9,13 +9,26 @@ Usage::
     scc-experiments all --transactions 1000 --replications 2 --workers 4
     scc-experiments --scenario bursty-telecom --rates 70,150
     scc-experiments scenarios           # list the registered scenarios
+    scc-experiments specs               # list the protocol registry
+    repro run experiment.json           # run a declarative ExperimentSpec
     scc-experiments results list --store runs.jsonl
     scc-experiments results export --store runs.jsonl --format csv
     scc-experiments results diff --store a.jsonl --against b.jsonl
 
-Each command prints the series the corresponding paper figure plots, as a
-fixed-width table (one row per arrival rate, one column per protocol).
-``fig3`` prints the analytic SCC-OB vs SCC-CB shadow-count table.
+Each figure command prints the series the corresponding paper figure
+plots, as a fixed-width table (one row per arrival rate, one column per
+protocol).  ``fig3`` prints the analytic SCC-OB vs SCC-CB shadow-count
+table.
+
+``repro run SPEC.json`` executes a serialized
+:class:`~repro.experiments.spec.ExperimentSpec` — scenario, protocol
+specs, grid axes, execution policy, and store in one artifact.  Flags
+given on the command line (``--rates``, ``--transactions``,
+``--replications``, ``--seed``, ``--executor``, ``--workers``,
+``--store``) override the spec for that invocation; everything omitted
+comes from the spec file.  ``specs`` lists the registered protocol
+families and their parameters (the vocabulary of ``protocols`` entries
+in spec files).
 
 ``--scenario NAME`` swaps the workload for a registered scenario from
 :mod:`repro.workloads.scenarios` (classes, arrival process, access
@@ -43,7 +56,11 @@ from typing import Callable, Optional, Sequence
 from repro.core.shadow_counts import figure3_table
 from repro.errors import ConfigurationError
 from repro.experiments import figures
-from repro.experiments.config import baseline_config, two_class_config
+from repro.experiments.config import (
+    ExperimentConfig,
+    baseline_config,
+    two_class_config,
+)
 from repro.experiments.parallel import available_executors, resolve_executor
 from repro.experiments.runner import SweepResult
 from repro.metrics.report import format_series_table, format_table
@@ -73,11 +90,30 @@ _RUNNERS: dict[str, Callable] = {
     "fig15b": figures.run_fig15,
 }
 
+# Command -> figures.FIGURE_PROTOCOLS key: exports resolve their roster
+# from the same table the run_fig* runners sweep, so the machine-readable
+# records always carry exactly the registry identities that were run.
+_FIGURE_KEYS = {
+    "fig13a": "fig13",
+    "fig13b": "fig13",
+    "fig14a": "fig14a",
+    "fig14b": "fig14b",
+    "fig15a": "fig15",
+    "fig15b": "fig15",
+}
+
 _METRIC_EXTRACTORS = {
     "missed": lambda result: result.missed_ratio(),
     "tardiness": lambda result: result.avg_tardiness(),
     "value": lambda result: result.system_value(),
 }
+
+# Default scale knobs when the flags are omitted — derived from the
+# ExperimentConfig dataclass so the CLI can never drift from the library.
+_CONFIG_FIELDS = ExperimentConfig.__dataclass_fields__
+_DEFAULT_TRANSACTIONS = _CONFIG_FIELDS["num_transactions"].default
+_DEFAULT_REPLICATIONS = _CONFIG_FIELDS["replications"].default
+_DEFAULT_SEED = _CONFIG_FIELDS["seed"].default
 
 
 def _parse_rates(text: Optional[str]) -> Optional[list[float]]:
@@ -90,19 +126,30 @@ def _parse_rates(text: Optional[str]) -> Optional[list[float]]:
 
 
 def _build_config(args: argparse.Namespace, two_class: bool):
+    seed = args.seed if args.seed is not None else _DEFAULT_SEED
+    transactions = (
+        args.transactions
+        if args.transactions is not None
+        else _DEFAULT_TRANSACTIONS
+    )
+    replications = (
+        args.replications
+        if args.replications is not None
+        else _DEFAULT_REPLICATIONS
+    )
     if args.scenario is not None:
         # The scenario defines classes, workload axes, and database size;
         # the figure command only picks the protocol set and metric.
         scenario = _get_scenario_or_exit(args.scenario)
-        config = scenario.to_config(seed=args.seed)
+        config = scenario.to_config(seed=seed)
     else:
         factory = two_class_config if two_class else baseline_config
-        config = factory(seed=args.seed)
+        config = factory(seed=seed)
     return replace(
         config,
-        num_transactions=args.transactions,
-        warmup_commits=min(config.warmup_commits, args.transactions // 10),
-        replications=args.replications,
+        num_transactions=transactions,
+        warmup_commits=min(config.warmup_commits, transactions // 10),
+        replications=replications,
     )
 
 
@@ -171,24 +218,14 @@ def _run_figure(command: str, args: argparse.Namespace) -> str:
     )
     elapsed = time.time() - started
     some = next(iter(results.values()))
-    total_cells = len(results) * len(some.arrival_rates) * config.replications
     status = f"[{config.num_transactions} txns x {config.replications} reps, {elapsed:.1f}s]"
-    if store is not None:
-        computed = len(store) - stored_before
-        status += (
-            f" [store: {args.store} — {total_cells - computed}/{total_cells} "
-            f"cells reused, {computed} computed]"
-        )
+    status += _store_status(store, args.store, stored_before, results, config)
     if args.format != "table":
-        # Machine-readable output: the canonical RunRecord serialization
-        # of exactly this run's grid; human status goes to stderr.  With a
-        # store, serve the stored records (they carry the cells' real
-        # wall-clock) — records_from_results only fills the no-store path.
-        records = records_from_results(config, results, scenario=args.scenario)
-        if store is not None:
-            records = [store.get(r.fingerprint) or r for r in records]
-        print(status, file=sys.stderr)
-        return _render_records(records, args.format)
+        return _machine_records(
+            config, results, args.scenario,
+            figures.FIGURE_PROTOCOLS[_FIGURE_KEYS[command]](),
+            store, args.format, status,
+        )
     extract = _METRIC_EXTRACTORS[metric]
     table = format_series_table(
         "arrival_rate",
@@ -197,6 +234,35 @@ def _run_figure(command: str, args: argparse.Namespace) -> str:
         title=title,
     )
     return f"{table}\n{status}"
+
+
+def _store_status(store, store_path, stored_before, results, config) -> str:
+    """The ``[store: ... cells reused, N computed]`` status suffix."""
+    if store is None:
+        return ""
+    some = next(iter(results.values()))
+    total_cells = len(results) * len(some.arrival_rates) * config.replications
+    computed = len(store) - stored_before
+    return (
+        f" [store: {store_path} — {total_cells - computed}/{total_cells} "
+        f"cells reused, {computed} computed]"
+    )
+
+
+def _machine_records(
+    config, results, scenario, protocol_specs, store, fmt, status
+) -> str:
+    # Machine-readable output: the canonical RunRecord serialization of
+    # exactly this run's grid; human status goes to stderr.  With a
+    # store, serve the stored records (they carry the cells' real
+    # wall-clock) — records_from_results only fills the no-store path.
+    records = records_from_results(
+        config, results, scenario=scenario, protocol_specs=protocol_specs,
+    )
+    if store is not None:
+        records = [store.get(r.fingerprint) or r for r in records]
+    print(status, file=sys.stderr)
+    return _render_records(records, fmt)
 
 
 def _render_records(records, fmt: str) -> str:
@@ -294,6 +360,119 @@ def _run_results(args: argparse.Namespace) -> tuple[str, int]:
     return _results_diff(store, args.against)
 
 
+def _list_protocol_specs() -> str:
+    from repro.protocols.registry import ProtocolSpec, all_protocol_families
+
+    rows = []
+    for family in all_protocol_families():
+        params = "; ".join(
+            f"{p.name}={_format_param_default(p.default)}"
+            + (f" ({'|'.join(map(str, p.choices))})" if p.choices else "")
+            for p in family.params
+        )
+        rows.append(
+            (
+                family.name,
+                ProtocolSpec.create(family.name).label,
+                params or "-",
+                family.description,
+            )
+        )
+    return format_table(
+        ["family", "default label", "parameters (defaults)", "description"],
+        rows,
+        title=(
+            "Registered protocol families — spec strings are "
+            "family?param=value&...  (e.g. scc-ks?k=3)"
+        ),
+    )
+
+
+def _format_param_default(value) -> str:
+    return "none" if value is None else str(value)
+
+
+def _run_spec(args: argparse.Namespace) -> str:
+    from repro.experiments.spec import ExperimentSpec
+
+    if not args.action:
+        raise SystemExit(
+            "scc-experiments: error: run needs a spec file "
+            "(scc-experiments run experiment.json)"
+        )
+    if args.scenario is not None:
+        raise SystemExit(
+            "scc-experiments: error: the spec file names its scenario; "
+            "--scenario does not apply to the run command"
+        )
+    try:
+        spec = ExperimentSpec.load(args.action)
+    except ConfigurationError as exc:
+        raise SystemExit(f"scc-experiments: error: {exc}")
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.replications is not None:
+        overrides["replications"] = args.replications
+    if args.transactions is not None:
+        overrides["num_transactions"] = args.transactions
+    rates = _parse_rates(args.rates)
+    store_path = args.store if args.store else spec.store
+    store = RunStore(store_path) if store_path else None
+    stored_before = len(store) if store is not None else 0
+    started = time.time()
+    try:
+        if args.transactions is not None:
+            # Mirror the figure commands' warmup clamp so a reduced
+            # --transactions override cannot undercut the spec's warmup.
+            probe = spec.to_config()
+            overrides["warmup_commits"] = min(
+                probe.warmup_commits, args.transactions // 10
+            )
+        config = spec.to_config(**overrides)
+        results = spec.run(
+            executor=args.executor,
+            workers=args.workers,
+            store=store,
+            arrival_rates=rates,
+            config=config,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"scc-experiments: error: {exc}")
+    elapsed = time.time() - started
+    some = next(iter(results.values()))
+    scenario_name = spec.scenario_name() or "paper baseline"
+    status = (
+        f"[spec {args.action}: {scenario_name}, "
+        f"{config.num_transactions} txns x {config.replications} reps, "
+        f"{elapsed:.1f}s]"
+    )
+    status += _store_status(store, store_path, stored_before, results, config)
+    if args.format != "table":
+        return _machine_records(
+            config, results, spec.scenario_name(), spec.protocol_mapping(),
+            store, args.format, status,
+        )
+    rate_axis = (
+        list(rates) if rates is not None else list(some.arrival_rates)
+    )
+    tables = []
+    for title, extract in (
+        ("Missed Ratio (%)", _METRIC_EXTRACTORS["missed"]),
+        ("Average Tardiness (s)", _METRIC_EXTRACTORS["tardiness"]),
+        ("System Value (%)", _METRIC_EXTRACTORS["value"]),
+    ):
+        tables.append(
+            format_series_table(
+                "arrival_rate",
+                rate_axis,
+                {name: extract(result) for name, result in results.items()},
+                title=f"{title} [{scenario_name}]",
+            )
+        )
+    return "\n\n".join(tables) + f"\n{status}"
+
+
 def _run_fig3(args: argparse.Namespace) -> str:
     if args.scenario is not None:
         # fig3 is an analytic shadow-count table; no workload is simulated.
@@ -320,19 +499,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "command",
         nargs="?",
         default="fig13a",
-        choices=sorted(_FIGURES) + ["fig3", "all", "scenarios", "results"],
-        help="which figure to regenerate, 'scenarios' to list the "
-        "registered workload scenarios, or 'results' to inspect a run "
-        "store (default: fig13a)",
+        choices=sorted(_FIGURES)
+        + ["fig3", "all", "scenarios", "specs", "run", "results"],
+        help="which figure to regenerate, 'run' to execute a JSON "
+        "experiment spec, 'scenarios'/'specs' to list the workload and "
+        "protocol registries, or 'results' to inspect a run store "
+        "(default: fig13a)",
     )
     parser.add_argument(
         "action",
         nargs="?",
         default=None,
-        choices=["list", "export", "diff"],
-        help="for the results command: list stored records (default), "
-        "export them (--format json|csv), or diff against another store "
-        "(--against)",
+        metavar="action|spec.json",
+        help="for the results command: list (default), export "
+        "(--format json|csv), or diff (--against); for the run command: "
+        "the experiment-spec JSON file to execute",
     )
     parser.add_argument(
         "--scenario", type=str, default=None,
@@ -340,18 +521,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "paper's baseline model (see 'scc-experiments scenarios')",
     )
     parser.add_argument(
-        "--transactions", type=int, default=4000,
-        help="completed transactions per run (paper: 4000)",
+        "--transactions", type=int, default=None,
+        help="completed transactions per run (default: the spec's value "
+        "for the run command, else the paper's 4000)",
     )
     parser.add_argument(
-        "--replications", type=int, default=3,
-        help="independent replications per point",
+        "--replications", type=int, default=None,
+        help="independent replications per point (default: the spec's "
+        "value for the run command, else 3)",
     )
     parser.add_argument(
         "--rates", type=str, default=None,
         help="comma-separated arrival rates (tps), e.g. 10,50,100,150,200",
     )
-    parser.add_argument("--seed", type=int, default=90_1995, help="root seed")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help=f"root seed (default: {_DEFAULT_SEED})",
+    )
     parser.add_argument(
         "--executor", choices=available_executors(), default=None,
         help="sweep executor (default: serial, or process when --workers > 1)",
@@ -380,14 +566,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.action is not None and args.command != "results":
+    if args.action is not None and args.command not in ("results", "run"):
         raise SystemExit(
             f"scc-experiments: error: '{args.action}' only applies to the "
-            "results command"
+            "results and run commands"
         )
-    if args.format != "table" and args.command in ("all", "fig3", "scenarios"):
+    if args.command == "results" and args.action not in (
+        None, "list", "export", "diff",
+    ):
+        raise SystemExit(
+            f"scc-experiments: error: unknown results action "
+            f"{args.action!r} (choose list, export, or diff)"
+        )
+    if args.format != "table" and args.command in (
+        "all", "fig3", "scenarios", "specs",
+    ):
         # 'all' would concatenate several JSON/CSV documents on stdout;
-        # fig3/scenarios produce no run records at all.
+        # fig3/scenarios/specs produce no run records at all.
         raise SystemExit(
             f"scc-experiments: error: --format {args.format} is not "
             f"supported by the '{args.command}' command; run one figure at "
@@ -397,11 +592,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output, code = _run_results(args)
         print(output)
         return code
+    if args.command == "run":
+        print(_run_spec(args))
+        return 0
 
     commands = sorted(_FIGURES) + ["fig3"] if args.command == "all" else [args.command]
     for command in commands:
         if command == "scenarios":
             print(_list_scenarios())
+        elif command == "specs":
+            print(_list_protocol_specs())
         elif command == "fig3":
             print(_run_fig3(args))
         else:

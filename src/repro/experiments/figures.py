@@ -5,21 +5,20 @@ regenerate one figure of the paper; ``run_*`` executes it and returns the
 plotted series.  Benchmarks and the CLI are thin wrappers over these.
 :func:`run_scenario` is the same entry point for registered workload
 scenarios (:mod:`repro.workloads.scenarios`) instead of paper figures.
+
+Protocol sets are registry-driven: every roster is a mapping from
+display label to :class:`~repro.protocols.registry.ProtocolSpec`, so the
+figure runners share identity (and therefore run-store fingerprints)
+with :class:`~repro.experiments.spec.ExperimentSpec` runs of the same
+grids.  Specs are callable factories, so these mappings remain drop-in
+compatible with code that calls ``fig13_protocols()["SCC-2S"]()``.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
-from repro.core.replacement import (
-    DeadlineAwareReplacement,
-    LatestBlockedFirstOut,
-    ReplacementPolicy,
-    ValueAwareReplacement,
-)
 from repro.core.scc_2s import SCC2S
-from repro.core.scc_ks import SCCkS
-from repro.core.scc_vw import SCCVW
 from repro.experiments.config import (
     ExperimentConfig,
     baseline_config,
@@ -32,33 +31,48 @@ from repro.experiments.runner import (
     run_sweep,
 )
 from repro.protocols.occ_bc import OCCBroadcastCommit
+from repro.protocols.registry import (
+    REPLACEMENT_CHOICES,
+    ProtocolSpec,
+    get_protocol_family,
+    parse_protocol_spec,
+)
 from repro.protocols.twopl_pa import TwoPhaseLockingPA
-from repro.protocols.wait50 import Wait50
 
 # SCC-VW's re-evaluation/backstop period Δ: a small fraction of the mean
 # transaction execution time (96 ms) so deferral decisions track value
-# decay closely without flooding the event queue.
-VW_PERIOD = 0.01
+# decay closely without flooding the event queue.  Sourced from the
+# protocol registry's ``scc-vw`` parameter default so figure runs, the
+# golden gate, and spec-driven runs can never drift apart.
+VW_PERIOD = get_protocol_family("scc-vw").param("period").default
 
 
-def fig13_protocols() -> dict[str, ProtocolFactory]:
+def _spec_mapping(*spec_strings: str) -> dict[str, ProtocolSpec]:
+    """Resolve compact spec strings into a ``{label: spec}`` roster."""
+    specs = [parse_protocol_spec(text) for text in spec_strings]
+    return {spec.label: spec for spec in specs}
+
+
+def fig13_protocols() -> dict[str, ProtocolSpec]:
     """Figure 13's contenders: SCC-2S vs OCC-BC vs WAIT-50 vs 2PL-PA."""
-    return {
-        "SCC-2S": SCC2S,
-        "OCC-BC": OCCBroadcastCommit,
-        "WAIT-50": Wait50,
-        "2PL-PA": TwoPhaseLockingPA,
-    }
+    return _spec_mapping("scc-2s", "occ-bc", "wait-50", "2pl-pa")
 
 
-def fig14_protocols() -> dict[str, ProtocolFactory]:
+def fig14_protocols() -> dict[str, ProtocolSpec]:
     """Figures 14-15's contenders: SCC-VW joins, 2PL-PA drops out."""
-    return {
-        "SCC-VW": lambda: SCCVW(period=VW_PERIOD),
-        "SCC-2S": SCC2S,
-        "OCC-BC": OCCBroadcastCommit,
-        "WAIT-50": Wait50,
-    }
+    return _spec_mapping("scc-vw", "scc-2s", "occ-bc", "wait-50")
+
+
+#: Figure key -> roster factory.  The ``run_fig*`` runners consult this
+#: table (not the bare functions), and the CLI resolves export rosters
+#: through it too — one mapping, so a roster change can never leave the
+#: CLI's machine-readable records pointing at stale protocol specs.
+FIGURE_PROTOCOLS: dict[str, Callable[[], dict[str, ProtocolSpec]]] = {
+    "fig13": fig13_protocols,
+    "fig14a": fig14_protocols,
+    "fig14b": fig14_protocols,
+    "fig15": fig14_protocols,
+}
 
 
 def run_scenario(
@@ -101,7 +115,8 @@ def run_fig13(
     scenario: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figures 13(a)+(b): Missed Ratio and Average Tardiness, baseline model."""
-    return run_sweep(fig13_protocols(), config or baseline_config(), arrival_rates,
+    return run_sweep(FIGURE_PROTOCOLS["fig13"](), config or baseline_config(),
+                     arrival_rates,
                      executor=executor, workers=workers, store=store,
                      scenario=scenario)
 
@@ -115,7 +130,8 @@ def run_fig14a(
     scenario: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figure 14(a): System Value, one transaction class (45° gradient)."""
-    return run_sweep(fig14_protocols(), config or baseline_config(), arrival_rates,
+    return run_sweep(FIGURE_PROTOCOLS["fig14a"](), config or baseline_config(),
+                     arrival_rates,
                      executor=executor, workers=workers, store=store,
                      scenario=scenario)
 
@@ -129,7 +145,8 @@ def run_fig14b(
     scenario: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figure 14(b): System Value, the 10%/90% two-class mix."""
-    return run_sweep(fig14_protocols(), config or two_class_config(), arrival_rates,
+    return run_sweep(FIGURE_PROTOCOLS["fig14b"](), config or two_class_config(),
+                     arrival_rates,
                      executor=executor, workers=workers, store=store,
                      scenario=scenario)
 
@@ -143,7 +160,8 @@ def run_fig15(
     scenario: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figures 15(a)+(b): SCC-VW's Missed Ratio / Average Tardiness."""
-    return run_sweep(fig14_protocols(), config or baseline_config(), arrival_rates,
+    return run_sweep(FIGURE_PROTOCOLS["fig15"](), config or baseline_config(),
+                     arrival_rates,
                      executor=executor, workers=workers, store=store,
                      scenario=scenario)
 
@@ -155,11 +173,11 @@ def run_fig15(
 
 def ablation_k_protocols(ks: Sequence[Optional[int]] = (1, 2, 3, 5, None)) -> dict:
     """SCC-kS at several shadow budgets; ``None`` = unlimited (SCC-CB)."""
-    factories: dict[str, ProtocolFactory] = {}
-    for k in ks:
-        label = "SCC-CB (k=inf)" if k is None else f"SCC-{k}S"
-        factories[label] = (lambda kk: lambda: SCCkS(k=kk))(k)
-    return factories
+    specs = [
+        ProtocolSpec.create("scc-ks", k=k)
+        for k in ks
+    ]
+    return {spec.label: spec for spec in specs}
 
 
 def run_ablation_k(
@@ -181,15 +199,6 @@ def run_ablation_k(
     )
 
 
-def replacement_policies() -> Mapping[str, ReplacementPolicy]:
-    """The replacement policies compared by ablation A3."""
-    return {
-        "LBFO": LatestBlockedFirstOut(),
-        "deadline-aware": DeadlineAwareReplacement(),
-        "value-aware": ValueAwareReplacement(),
-    }
-
-
 def run_ablation_replacement(
     config: Optional[ExperimentConfig] = None,
     arrival_rates: Optional[Sequence[float]] = None,
@@ -198,10 +207,16 @@ def run_ablation_replacement(
     workers: Optional[int] = None,
     store=None,
 ) -> dict[str, SweepResult]:
-    """A3: LBFO vs deadline-aware vs value-aware shadow replacement."""
+    """A3: LBFO vs deadline-aware vs value-aware shadow replacement.
+
+    The contenders come straight from the registry's replacement-policy
+    vocabulary (:data:`repro.protocols.registry.REPLACEMENT_CHOICES`),
+    so registering a fourth policy automatically joins the ablation.
+    """
     factories = {
-        name: (lambda pol: lambda: SCCkS(k=k, replacement=pol))(policy)
-        for name, policy in replacement_policies().items()
+        choice.upper() if choice == "lbfo" else choice:
+            ProtocolSpec.create("scc-ks", k=k, replacement=choice)
+        for choice in REPLACEMENT_CHOICES
     }
     return run_sweep(factories, config or baseline_config(), arrival_rates,
                      executor=executor, workers=workers, store=store)
@@ -222,12 +237,12 @@ def run_ablation_wait_threshold(
     WAIT-50 is the X = 0.5 instance.  OCC-BC is included as the no-wait
     reference.
     """
-    factories: dict[str, ProtocolFactory] = {
-        "OCC-BC (no wait)": OCCBroadcastCommit,
+    factories: dict[str, ProtocolSpec] = {
+        "OCC-BC (no wait)": ProtocolSpec.create("occ-bc"),
     }
     for threshold in thresholds:
-        label = f"WAIT-{int(round(threshold * 100))}"
-        factories[label] = (lambda x: lambda: Wait50(wait_threshold=x))(threshold)
+        spec = ProtocolSpec.create("wait-50", wait_threshold=threshold)
+        factories[spec.label] = spec
     return run_sweep(factories, config or baseline_config(), arrival_rates,
                      executor=executor, workers=workers, store=store)
 

@@ -36,6 +36,7 @@ from repro.experiments.parallel import (
 )
 from repro.metrics.confidence import ConfidenceInterval, mean_confidence_interval
 from repro.metrics.stats import MetricsCollector, RunSummary
+from repro.protocols.registry import ProtocolSpec, protocol_spec
 from repro.results.fingerprint import cell_fingerprint, config_payload
 from repro.results.record import RunRecord
 from repro.results.store import RunStore
@@ -45,7 +46,72 @@ from repro.system.resources import InfiniteResources, ResourceManager
 from repro.workloads.generator import build_generator
 
 ProtocolFactory = Callable[[], CCProtocol]
+#: What run_sweep accepts per protocol entry: a zero-arg factory, a
+#: registry ProtocolSpec, a compact spec string, or a spec dict.
+ProtocolLike = Union[ProtocolFactory, ProtocolSpec, str, dict]
 ResourceFactory = Callable[[ExperimentConfig], ResourceManager]
+
+
+def normalize_protocols(
+    protocols: "Mapping[str, ProtocolLike] | Sequence[ProtocolLike]",
+) -> tuple[dict[str, ProtocolFactory], dict[str, Optional[ProtocolSpec]]]:
+    """Resolve the protocol argument of :func:`run_sweep`.
+
+    Accepts either a mapping ``{label: factory-or-spec}`` or a bare
+    sequence of specs/spec strings (labels then come from
+    :attr:`~repro.protocols.registry.ProtocolSpec.label`).  Returns the
+    ``{label: factory}`` dict the executors consume plus a parallel
+    ``{label: ProtocolSpec | None}`` identity map — ``None`` marks a
+    legacy opaque factory whose store identity is the label itself.
+
+    Raises:
+        ConfigurationError: On duplicate labels (two differently
+            parameterized specs whose labels collide would silently
+            overwrite each other's results) or an uninterpretable entry.
+    """
+    if isinstance(protocols, (str, ProtocolSpec)) or (
+        isinstance(protocols, Mapping) and "family" in protocols
+    ):
+        # A single spec (string, ProtocolSpec, or {"family": ...} dict)
+        # passed bare: treat it as a one-protocol roster rather than
+        # iterating a string character by character or misreading the
+        # spec dict as a {label: factory} mapping.
+        items = [(None, protocols)]
+    elif isinstance(protocols, Mapping):
+        items = [(label, value) for label, value in protocols.items()]
+    else:
+        items = [(None, value) for value in protocols]
+    factories: dict[str, ProtocolFactory] = {}
+    specs: dict[str, Optional[ProtocolSpec]] = {}
+    for label, value in items:
+        if isinstance(value, (ProtocolSpec, str, dict)):
+            spec = protocol_spec(value)
+            label = spec.label if label is None else label
+            factory: ProtocolFactory = spec
+        elif callable(value):
+            spec = None
+            factory = value
+            if label is None:
+                raise ConfigurationError(
+                    f"bare protocol factory {value!r} needs a label; pass "
+                    "a {label: factory} mapping or use registry specs"
+                )
+        else:
+            raise ConfigurationError(
+                f"cannot interpret protocol entry {value!r}; expected a "
+                "factory, ProtocolSpec, spec string, or spec dict"
+            )
+        if label in factories:
+            raise ConfigurationError(
+                f"duplicate protocol label {label!r} in one sweep; "
+                "pass an explicit {label: spec} mapping to give the "
+                "variants distinct labels"
+            )
+        factories[label] = factory
+        specs[label] = spec
+    if not factories:
+        raise ConfigurationError("run_sweep needs at least one protocol")
+    return factories, specs
 
 
 def _default_resources(config: ExperimentConfig) -> ResourceManager:
@@ -180,7 +246,7 @@ def assemble_results(
 
 
 def run_sweep(
-    protocols: Mapping[str, ProtocolFactory],
+    protocols: "Mapping[str, ProtocolLike] | Sequence[ProtocolLike]",
     config: ExperimentConfig,
     arrival_rates: Optional[Sequence[float]] = None,
     resources: Optional[ResourceFactory] = None,
@@ -206,10 +272,17 @@ def run_sweep(
     (summaries round-trip through canonical JSON exactly).
 
     Args:
-        protocols: name -> factory producing a *fresh* protocol instance.
-            With a store, the *name* is the protocol's identity: reusing a
-            name for a differently-parameterized protocol against the same
-            store returns the old records.
+        protocols: The protocol set, normalized by
+            :func:`normalize_protocols`: a ``{label: entry}`` mapping or
+            a bare sequence of entries, where each entry is a registry
+            :class:`~repro.protocols.registry.ProtocolSpec` (or compact
+            spec string / spec dict) or a legacy zero-arg factory.  With
+            a store, spec entries are fingerprinted by their full
+            ``family + params`` identity — two parameterizations can
+            never share a cached cell — while legacy factories fall back
+            to label-as-identity: reusing a label for a differently
+            parameterized factory against the same store returns the old
+            records.
         config: Experiment configuration.
         arrival_rates: Overrides ``config.arrival_rates`` when given.
         resources: Optional resource-manager factory (infinite by default).
@@ -251,7 +324,7 @@ def run_sweep(
         )
     rates = tuple(arrival_rates if arrival_rates is not None else config.arrival_rates)
     chosen = resolve_executor(executor, workers=workers)
-    factories = dict(protocols)
+    factories, spec_map = normalize_protocols(protocols)
     names = list(factories)
     cells = build_cells(names, rates, config.replications)
 
@@ -289,7 +362,10 @@ def run_sweep(
     payload = config_payload(config)
     fingerprints = {
         cell.index: cell_fingerprint(
-            payload, cell.protocol, cell.arrival_rate, cell.replication
+            payload,
+            spec_map[cell.protocol] or cell.protocol,
+            cell.arrival_rate,
+            cell.replication,
         )
         for cell in cells
     }
@@ -314,6 +390,7 @@ def run_sweep(
                 RunRecord.from_outcome(
                     config, outcome, scenario=scenario,
                     config_payload_dict=payload,
+                    protocol_spec=spec_map[outcome.cell.protocol],
                 )
             )
 

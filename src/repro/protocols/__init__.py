@@ -1,8 +1,18 @@
-"""Concurrency-control protocols: shared machinery and the paper's baselines."""
+"""Concurrency-control protocols: shared machinery, baselines, registry."""
 
 from repro.protocols.base import CCProtocol, Execution, ExecutionState, ReadRecord
 from repro.protocols.occ import BasicOCC
 from repro.protocols.occ_bc import OCCBroadcastCommit
+from repro.protocols.registry import (
+    ProtocolFamily,
+    ProtocolSpec,
+    all_protocol_families,
+    available_protocols,
+    get_protocol_family,
+    parse_protocol_spec,
+    protocol_spec,
+    register_protocol,
+)
 from repro.protocols.serial import SerialExecution
 from repro.protocols.twopl_pa import TwoPhaseLockingPA
 from repro.protocols.wait50 import Wait50
@@ -13,8 +23,16 @@ __all__ = [
     "Execution",
     "ExecutionState",
     "OCCBroadcastCommit",
+    "ProtocolFamily",
+    "ProtocolSpec",
     "ReadRecord",
     "SerialExecution",
     "TwoPhaseLockingPA",
     "Wait50",
+    "all_protocol_families",
+    "available_protocols",
+    "get_protocol_family",
+    "parse_protocol_spec",
+    "protocol_spec",
+    "register_protocol",
 ]

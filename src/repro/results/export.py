@@ -34,6 +34,7 @@ _RECORD_COLUMNS = (
     "config_fingerprint",
     "scenario",
     "protocol",
+    "protocol_spec",
     "arrival_rate",
     "replication",
     "seed",
@@ -63,23 +64,34 @@ def records_from_results(
     config: "ExperimentConfig",
     results: Mapping[str, "SweepResult"],
     scenario: Optional[str] = None,
+    protocol_specs: Optional[Mapping[str, object]] = None,
 ) -> list[RunRecord]:
     """Flatten assembled sweep results into canonical records.
 
     Used by the CLI export path when results were computed in memory (no
     store): the records carry ``elapsed=0.0`` since per-cell wall-clock is
     not retained by :class:`~repro.experiments.runner.SweepResult`.
+
+    ``protocol_specs`` optionally maps result labels to their registry
+    :class:`~repro.protocols.registry.ProtocolSpec`; matching labels get
+    spec-based fingerprints (identical to what a store-backed run of the
+    same sweep persists) and carry the spec dict on the record.
     """
     payload = config_payload(config)
     config_fp = digest(payload)
+    specs = protocol_specs or {}
     records = []
     for protocol, sweep in results.items():
+        spec = specs.get(protocol)
         for rate, summaries in zip(sweep.arrival_rates, sweep.replications):
             for replication, summary in enumerate(summaries):
                 records.append(
                     RunRecord(
                         fingerprint=cell_fingerprint(
-                            payload, protocol, rate, replication
+                            payload,
+                            spec if spec is not None else protocol,
+                            rate,
+                            replication,
                         ),
                         config_fingerprint=config_fp,
                         protocol=protocol,
@@ -88,6 +100,11 @@ def records_from_results(
                         seed=config.seed,
                         summary=summary,
                         scenario=scenario,
+                        protocol_spec=(
+                            spec.to_dict()
+                            if hasattr(spec, "to_dict")
+                            else spec
+                        ),
                     )
                 )
     return records
@@ -119,6 +136,14 @@ def write_csv(records: Iterable[RunRecord], stream: IO[str]) -> int:
             record.config_fingerprint,
             record.scenario if record.scenario is not None else "",
             record.protocol,
+            # The registry identity, embedded as JSON like the per-class
+            # columns ("" for legacy name-keyed records), so label
+            # collisions stay distinguishable without decoding hashes.
+            (
+                json.dumps(record.protocol_spec, sort_keys=True)
+                if record.protocol_spec is not None
+                else ""
+            ),
             record.arrival_rate,
             record.replication,
             record.seed,

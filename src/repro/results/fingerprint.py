@@ -24,8 +24,21 @@ counts, root seed, serializability checking, and the full workload spec
 *excludes* ``arrival_rates``, ``replications``, and ``confidence_level``:
 those shape the grid and its post-processing, not any one cell — so
 extending a sweep axis or adding replications reuses every cell already
-stored.  Protocol identity is the caller-supplied name; the store trusts
-that a name maps to one protocol configuration.
+stored.
+
+Protocol identity
+-----------------
+When the sweep runs registry-backed
+:class:`~repro.protocols.registry.ProtocolSpec` entries (everything
+routed through :class:`~repro.experiments.spec.ExperimentSpec`, the
+figure runners, and the CLI), the fingerprint hashes the *full spec* —
+family plus every parameter — so parameterized variants such as
+``scc-ks?k=2`` vs ``scc-ks?k=3`` can never share a cached cell even if a
+caller labels them identically.  Legacy ``{name: factory}`` sweeps fall
+back to hashing the caller-supplied display name, exactly as before the
+registry existed (their stores keep hitting); spec-driven sweeps hash
+differently by design, so a pre-registry store re-runs under the new
+identity scheme rather than serving name-addressed cells.
 """
 
 from __future__ import annotations
@@ -44,6 +57,7 @@ __all__ = [
     "config_fingerprint",
     "config_payload",
     "digest",
+    "protocol_identity",
 ]
 
 #: Hex characters kept from the sha256 digest (128 bits — collisions are
@@ -93,9 +107,24 @@ def config_fingerprint(config: "ExperimentConfig") -> str:
     return digest(config_payload(config))
 
 
+def protocol_identity(protocol) -> "str | dict":
+    """The hashable identity of one protocol designator.
+
+    A :class:`~repro.protocols.registry.ProtocolSpec` (anything exposing
+    ``fingerprint_payload()``) contributes its full ``{family, params}``
+    payload; a plain-dict spec payload passes through; a bare string
+    (legacy name-keyed sweeps) is identity by display name, unchanged
+    from the pre-registry scheme.
+    """
+    payload_fn = getattr(protocol, "fingerprint_payload", None)
+    if payload_fn is not None:
+        return payload_fn()
+    return protocol
+
+
 def cell_fingerprint(
     config: "ExperimentConfig | dict",
-    protocol: str,
+    protocol,
     arrival_rate: float,
     replication: int,
 ) -> str:
@@ -105,7 +134,10 @@ def cell_fingerprint(
         config: The experiment config, or a precomputed
             :func:`config_payload` dict (callers fingerprinting a whole
             grid should precompute the payload once).
-        protocol: Protocol name as registered with the sweep.
+        protocol: The cell's protocol identity: a
+            :class:`~repro.protocols.registry.ProtocolSpec`, its
+            ``fingerprint_payload()`` dict, or a bare display name
+            (legacy name-keyed sweeps).
         arrival_rate: The cell's arrival rate (tps).
         replication: The cell's replication index.
     """
@@ -113,7 +145,7 @@ def cell_fingerprint(
     return digest(
         {
             "config": payload,
-            "protocol": protocol,
+            "protocol": protocol_identity(protocol),
             "arrival_rate": float(arrival_rate),
             "replication": int(replication),
         }

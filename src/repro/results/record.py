@@ -25,11 +25,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["RECORD_SCHEMA", "RunRecord"]
 
 #: Version stamped into every serialized record.  Bump on any change to
-#: the dict layout; :meth:`RunRecord.from_dict` refuses other versions
+#: the dict layout; :meth:`RunRecord.from_dict` refuses unknown versions
 #: rather than guessing.
-RECORD_SCHEMA = 1
+#:
+#: Schema history:
+#:
+#: * **1** — protocol identity is the display name only.
+#: * **2** — adds ``protocol_spec``, the registry identity
+#:   (``{"family", "params"}`` from
+#:   :meth:`~repro.protocols.registry.ProtocolSpec.to_dict`, or ``None``
+#:   for legacy name-keyed sweeps).  Schema-1 records are still *read*
+#:   (as ``protocol_spec=None``) so old stores stay listable/exportable,
+#:   but spec-driven sweeps fingerprint protocols by their full spec, so
+#:   cells recorded before the bump are re-run rather than reused.
+RECORD_SCHEMA = 2
 
-_REQUIRED_KEYS = frozenset(
+_COMMON_KEYS = frozenset(
     {
         "schema",
         "fingerprint",
@@ -44,6 +55,12 @@ _REQUIRED_KEYS = frozenset(
     }
 )
 
+#: Exact key set per readable schema version.
+_KEYS_BY_SCHEMA = {
+    1: _COMMON_KEYS,
+    2: _COMMON_KEYS | {"protocol_spec"},
+}
+
 
 @dataclass(frozen=True)
 class RunRecord:
@@ -55,7 +72,7 @@ class RunRecord:
             config payload plus ``(protocol, arrival_rate, replication)``.
         config_fingerprint: Fingerprint of the cell-shaping config alone;
             lets consumers group records by experiment without re-deriving.
-        protocol: Protocol name as registered with the sweep.
+        protocol: Display name as registered with the sweep.
         arrival_rate: Arrival rate of the cell (tps).
         replication: Replication index (the workload-stream selector).
         seed: Root seed the replication streams were spawned from.
@@ -63,6 +80,10 @@ class RunRecord:
         scenario: Registered scenario name when the sweep ran one
             (metadata only — the workload spec itself is fingerprinted).
         elapsed: Wall-clock seconds the cell took when first computed.
+        protocol_spec: Registry identity of the protocol
+            (:meth:`~repro.protocols.registry.ProtocolSpec.to_dict`
+            form), or ``None`` for legacy name-keyed sweeps and
+            schema-1 records.
     """
 
     fingerprint: str
@@ -74,6 +95,7 @@ class RunRecord:
     summary: RunSummary
     scenario: Optional[str] = None
     elapsed: float = 0.0
+    protocol_spec: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """Canonical plain-dict form, invertible by :meth:`from_dict`."""
@@ -83,6 +105,7 @@ class RunRecord:
             "config_fingerprint": self.config_fingerprint,
             "scenario": self.scenario,
             "protocol": self.protocol,
+            "protocol_spec": self.protocol_spec,
             "arrival_rate": self.arrival_rate,
             "replication": self.replication,
             "seed": self.seed,
@@ -104,13 +127,15 @@ class RunRecord:
                 f"run record payload must be a dict, got {type(payload).__name__}"
             )
         schema = payload.get("schema")
-        if schema != RECORD_SCHEMA:
+        if schema not in _KEYS_BY_SCHEMA:
             raise ConfigurationError(
                 f"unsupported run-record schema {schema!r} "
-                f"(this library reads schema {RECORD_SCHEMA})"
+                f"(this library reads schemas "
+                f"{sorted(_KEYS_BY_SCHEMA)})"
             )
-        missing = _REQUIRED_KEYS - set(payload)
-        unknown = set(payload) - _REQUIRED_KEYS
+        required = _KEYS_BY_SCHEMA[schema]
+        missing = required - set(payload)
+        unknown = set(payload) - required
         if missing or unknown:
             raise ConfigurationError(
                 f"run record payload mismatch: missing {sorted(missing)}, "
@@ -130,6 +155,7 @@ class RunRecord:
             summary=summary,
             scenario=payload["scenario"],
             elapsed=payload["elapsed"],
+            protocol_spec=payload.get("protocol_spec"),
         )
 
     @classmethod
@@ -139,6 +165,7 @@ class RunRecord:
         outcome: "CellOutcome",
         scenario: Optional[str] = None,
         config_payload_dict: Optional[dict] = None,
+        protocol_spec=None,
     ) -> "RunRecord":
         """Build the record for one successful :class:`CellOutcome`.
 
@@ -150,6 +177,11 @@ class RunRecord:
             config_payload_dict: Precomputed
                 :func:`~repro.results.fingerprint.config_payload`, to
                 amortize payload construction over a whole grid.
+            protocol_spec: The cell's
+                :class:`~repro.protocols.registry.ProtocolSpec` when the
+                sweep is registry-driven; it becomes both the stored
+                ``protocol_spec`` field and the fingerprint identity.
+                ``None`` keeps the legacy name-only identity.
         """
         if not outcome.ok or outcome.summary is None:
             raise ConfigurationError(
@@ -163,7 +195,8 @@ class RunRecord:
         return cls(
             fingerprint=cell_fingerprint(
                 payload,
-                outcome.cell.protocol,
+                protocol_spec if protocol_spec is not None
+                else outcome.cell.protocol,
                 outcome.cell.arrival_rate,
                 outcome.cell.replication,
             ),
@@ -175,4 +208,9 @@ class RunRecord:
             summary=outcome.summary,
             scenario=scenario,
             elapsed=outcome.elapsed,
+            protocol_spec=(
+                protocol_spec.to_dict()
+                if hasattr(protocol_spec, "to_dict")
+                else protocol_spec
+            ),
         )

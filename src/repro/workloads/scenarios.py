@@ -9,6 +9,7 @@ they can live in code, config files, or the CLI (``--scenario NAME``).
 Registered scenarios (see SCENARIOS.md for the full catalogue):
 
 * ``paper-baseline``     — the §4 baseline; bit-identical to the seed path.
+* ``paper-two-class``    — the Figure 14(b) critical/routine two-class mix.
 * ``bursty-telecom``     — MMPP on/off bursts over the Fig 14(b) class mix.
 * ``flash-sale-hotspot`` — 80% of accesses on 10% of pages, flat deadlines.
 * ``diurnal-oltp``       — sinusoidal load envelope over a Zipfian tail.
@@ -294,6 +295,27 @@ register_scenario(
         stresses=(
             "The reference point every figure is calibrated against; "
             "moderate, evenly spread conflicts."
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="paper-two-class",
+        description=(
+            "The paper's Figure 14(b) two-class mix under the baseline "
+            "workload axes: 10% critical-long transactions (32 pages, "
+            "slack 1.5, value 5.5, steep penalty gradient) against 90% "
+            "routine-short ones (14 pages, value 0.5, shallow gradient).  "
+            "Same Poisson/uniform/slack axes as paper-baseline, so its "
+            "configs are bit-identical to two_class_config()."
+        ),
+        classes=two_class_config().classes,
+        stresses=(
+            "Value discrimination: protocols must spend resources on the "
+            "rare high-value class without starving the routine bulk — "
+            "the setting where value-cognizant deferment (SCC-VW) "
+            "separates from value-blind speculation."
         ),
     )
 )

@@ -138,3 +138,126 @@ def test_invalid_rates_rejected():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["fig99"])
+
+
+# ----------------------------------------------------------------------
+# the declarative experiment commands (run / specs)
+# ----------------------------------------------------------------------
+
+
+def _write_smoke_spec(tmp_path, **overrides):
+    from repro.experiments.spec import ExperimentSpec
+
+    fields = dict(
+        arrival_rates=(60.0, 120.0),
+        replications=1,
+        num_transactions=120,
+        warmup_commits=12,
+    )
+    fields.update(overrides)
+    spec = ExperimentSpec.create(["scc-2s", "occ-bc"], **fields)
+    path = tmp_path / "experiment.json"
+    spec.save(path)
+    return path, spec
+
+
+def test_specs_lists_protocol_registry(capsys):
+    assert main(["specs"]) == 0
+    out = capsys.readouterr().out
+    for family in ("scc-2s", "scc-ks", "scc-vw", "occ-bc", "wait-50", "serial"):
+        assert family in out
+    assert "k=2" in out  # parameters and defaults are shown
+    assert "replacement=lbfo" in out
+
+
+def test_run_executes_a_spec_file(capsys, tmp_path):
+    path, _ = _write_smoke_spec(tmp_path)
+    assert main(["run", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Missed Ratio" in out
+    assert "System Value" in out
+    assert "SCC-2S" in out and "OCC-BC" in out
+
+
+def test_run_spec_bit_identical_to_direct_run_sweep(capsys, tmp_path):
+    # The acceptance criterion: a JSON spec run via the CLI produces
+    # results bit-identical to the same grid through legacy run_sweep
+    # with hand-built factories.
+    import json
+
+    from repro.core.scc_2s import SCC2S
+    from repro.experiments.config import baseline_config
+    from repro.experiments.runner import run_sweep
+    from repro.protocols.occ_bc import OCCBroadcastCommit
+
+    path, _ = _write_smoke_spec(tmp_path)
+    assert main(["run", str(path), "--format", "json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    config = baseline_config(
+        num_transactions=120, warmup_commits=12, replications=1,
+        arrival_rates=(60.0, 120.0),
+    )
+    legacy = run_sweep(
+        {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, config
+    )
+    by_cell = {
+        (r["protocol"], r["arrival_rate"], r["replication"]): r["summary"]
+        for r in records
+    }
+    assert len(by_cell) == len(records) == 4
+    for name, sweep in legacy.items():
+        for rate, summaries in zip(sweep.arrival_rates, sweep.replications):
+            for replication, summary in enumerate(summaries):
+                assert by_cell[(name, rate, replication)] == summary.to_dict()
+
+
+def test_run_with_store_reuses_cells(capsys, tmp_path):
+    path, _ = _write_smoke_spec(
+        tmp_path, store=str(tmp_path / "runs.jsonl")
+    )
+    assert main(["run", str(path)]) == 0
+    first = capsys.readouterr().out
+    assert main(["run", str(path)]) == 0
+    second = capsys.readouterr().out
+    assert (tmp_path / "runs.jsonl").exists()
+    # Bit-identical tables whether cells were computed or served from
+    # the store (the wall-clock status line differs, so strip it).
+    strip = lambda text: [
+        line for line in text.splitlines() if not line.startswith("[spec")
+    ]
+    assert strip(first) == strip(second)
+
+
+def test_run_flag_overrides_spec(capsys, tmp_path):
+    path, _ = _write_smoke_spec(tmp_path)
+    assert main(["run", str(path), "--rates", "80", "--transactions", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "60 txns" in out
+    assert "80.000" in out
+    assert "120.000" not in out
+
+
+def test_run_without_spec_path_rejected():
+    with pytest.raises(SystemExit, match="needs a spec file"):
+        main(["run"])
+
+
+def test_run_with_missing_file_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["run", str(tmp_path / "absent.json")])
+
+
+def test_run_rejects_scenario_flag(tmp_path):
+    path, _ = _write_smoke_spec(tmp_path)
+    with pytest.raises(SystemExit, match="names its scenario"):
+        main(["run", str(path), "--scenario", "paper-baseline"])
+
+
+def test_action_only_for_results_and_run():
+    with pytest.raises(SystemExit, match="only applies"):
+        main(["fig13a", "list"])
+
+
+def test_unknown_results_action_rejected():
+    with pytest.raises(SystemExit, match="unknown results action"):
+        main(["results", "explode", "--store", "x.jsonl"])

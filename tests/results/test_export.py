@@ -116,3 +116,21 @@ def test_diff_records_flags_metric_drift_on_shared_cells():
     }
     assert report["only_a"] == [only_a]
     assert report["only_b"] == [only_b]
+
+
+def test_write_csv_carries_protocol_spec_column():
+    # The registry identity must survive the CSV path too: variants with
+    # colliding display labels stay distinguishable without decoding
+    # fingerprints.  Legacy (name-keyed) records leave the cell empty.
+    spec = {"family": "scc-ks", "params": {"k": 3, "replacement": "lbfo"}}
+    buffer = io.StringIO()
+    write_csv(
+        [make_record(protocol_spec=spec), make_record(fingerprint="ee" * 16)],
+        buffer,
+    )
+    rows = list(csv.reader(io.StringIO(buffer.getvalue())))
+    assert "protocol_spec" in rows[0]
+    first = dict(zip(rows[0], rows[1]))
+    second = dict(zip(rows[0], rows[2]))
+    assert json.loads(first["protocol_spec"]) == spec
+    assert second["protocol_spec"] == ""

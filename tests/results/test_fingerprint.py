@@ -72,3 +72,51 @@ def test_cell_fingerprint_accepts_precomputed_payload():
     assert cell_fingerprint(payload, "SCC-2S", 50.0, 0) == cell_fingerprint(
         config, "SCC-2S", 50.0, 0
     )
+
+
+# ----------------------------------------------------------------------
+# protocol-spec identity (the registry closes the name-collision trap)
+# ----------------------------------------------------------------------
+
+
+def test_cell_fingerprint_distinguishes_parameterized_variants():
+    # The regression the registry exists for: scc-ks?k=2 vs scc-ks?k=3
+    # must never share a cell, even though both could display "SCC-kS".
+    from repro.protocols.registry import parse_protocol_spec
+
+    config = baseline_config()
+    k2 = cell_fingerprint(config, parse_protocol_spec("scc-ks?k=2"), 50.0, 0)
+    k3 = cell_fingerprint(config, parse_protocol_spec("scc-ks?k=3"), 50.0, 0)
+    assert k2 != k3
+
+
+def test_cell_fingerprint_spec_is_stable_across_spellings():
+    # Default-filled and explicit spellings of the same spec hash alike.
+    from repro.protocols.registry import parse_protocol_spec
+
+    config = baseline_config()
+    assert cell_fingerprint(
+        config, parse_protocol_spec("scc-ks"), 50.0, 0
+    ) == cell_fingerprint(
+        config, parse_protocol_spec("scc-ks?k=2&replacement=lbfo"), 50.0, 0
+    )
+
+
+def test_cell_fingerprint_spec_differs_from_bare_name():
+    # Spec identity is a schema change by design: a spec-driven sweep
+    # does not silently reuse name-addressed cells from legacy stores.
+    from repro.protocols.registry import parse_protocol_spec
+
+    config = baseline_config()
+    assert cell_fingerprint(
+        config, parse_protocol_spec("scc-2s"), 50.0, 0
+    ) != cell_fingerprint(config, "SCC-2S", 50.0, 0)
+
+
+def test_protocol_identity_helper():
+    from repro.protocols.registry import parse_protocol_spec
+    from repro.results.fingerprint import protocol_identity
+
+    spec = parse_protocol_spec("wait-50?wait_threshold=0.25")
+    assert protocol_identity(spec) == spec.fingerprint_payload()
+    assert protocol_identity("WAIT-25") == "WAIT-25"

@@ -79,6 +79,56 @@ def test_record_from_dict_rejects_other_schema_versions():
         RunRecord.from_dict(payload)
 
 
+def test_schema_1_records_still_read():
+    # Migration path: stores written before the protocol-spec bump stay
+    # listable/exportable; the missing field reads as None.
+    payload = make_record().to_dict()
+    payload["schema"] = 1
+    del payload["protocol_spec"]
+    record = RunRecord.from_dict(payload)
+    assert record.protocol == "SCC-2S"
+    assert record.protocol_spec is None
+
+
+def test_schema_1_payload_with_spec_key_rejected():
+    payload = make_record().to_dict()
+    payload["schema"] = 1  # claims v1 but carries a v2 key
+    with pytest.raises(ConfigurationError, match="protocol_spec"):
+        RunRecord.from_dict(payload)
+
+
+def test_protocol_spec_round_trips():
+    spec = {"family": "scc-ks", "params": {"k": 3, "replacement": "lbfo"}}
+    record = make_record(protocol_spec=spec)
+    rebuilt = RunRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+    assert rebuilt == record
+    assert rebuilt.protocol_spec == spec
+
+
+def test_from_outcome_uses_spec_identity_when_given():
+    from repro.experiments.config import baseline_config
+    from repro.experiments.parallel import CellOutcome, SweepCell
+    from repro.protocols.registry import parse_protocol_spec
+    from repro.results.fingerprint import cell_fingerprint
+
+    config = baseline_config()
+    cell = SweepCell(
+        index=0, protocol="SCC-3S", rate_index=0, arrival_rate=50.0,
+        replication=0,
+    )
+    outcome = CellOutcome(
+        cell=cell, summary=make_summary(), error=None, elapsed=0.5
+    )
+    spec = parse_protocol_spec("scc-ks?k=3")
+    record = RunRecord.from_outcome(config, outcome, protocol_spec=spec)
+    assert record.fingerprint == cell_fingerprint(config, spec, 50.0, 0)
+    assert record.protocol == "SCC-3S"
+    assert record.protocol_spec == spec.to_dict()
+    legacy = RunRecord.from_outcome(config, outcome)
+    assert legacy.fingerprint == cell_fingerprint(config, "SCC-3S", 50.0, 0)
+    assert legacy.protocol_spec is None
+
+
 def test_record_from_dict_rejects_missing_and_unknown_keys():
     payload = make_record().to_dict()
     payload["extra"] = 1

@@ -26,8 +26,10 @@ def test_version():
         "repro.engine",
         "repro.errors",
         "repro.experiments",
+        "repro.experiments.spec",
         "repro.metrics",
         "repro.protocols",
+        "repro.protocols.registry",
         "repro.results",
         "repro.system",
         "repro.txn",
@@ -69,7 +71,25 @@ def test_protocol_names_are_distinct():
 
 
 def test_quickstart_docstring_example_runs():
-    # The module docstring promises a working quickstart; hold it to that.
+    # The module docstring promises a working quickstart; hold it to that
+    # (scale knobs reduced so the whole suite stays fast).
+    from repro import Experiment
+
+    results = (
+        Experiment.scenario("paper-baseline")
+        .protocols("scc-2s", "occ-bc")
+        .rates(50, 100)
+        .transactions(120)
+        .warmup(12)
+        .replications(1)
+        .run()
+    )
+    assert set(results) == {"SCC-2S", "OCC-BC"}
+    assert len(results["SCC-2S"].missed_ratio()) == 2
+
+
+def test_low_level_building_blocks_still_run():
+    # The pre-spec surface stays public for custom harnesses.
     from repro import (
         RTDBSystem,
         RandomStreams,
@@ -95,3 +115,19 @@ def test_quickstart_docstring_example_runs():
     system.run()
     summary = system.metrics.summary()
     assert summary.committed == 100
+
+
+def test_registry_protocol_names_match_instances():
+    # Every registered family is constructible by name and the default
+    # spec label matches a real protocol instance.
+    from repro import ProtocolSpec, available_protocols
+    from repro.protocols.base import CCProtocol
+
+    assert {
+        "scc-2s", "scc-ks", "scc-cb", "scc-dc", "scc-vw",
+        "2pl-pa", "occ", "occ-bc", "wait-50", "serial",
+    } <= set(available_protocols())
+    for family in available_protocols():
+        spec = ProtocolSpec.create(family)
+        protocol = spec.build()
+        assert isinstance(protocol, CCProtocol)
