@@ -1,24 +1,37 @@
-"""Engine hot-path microbenchmarks (event loop + SCC step machinery).
+"""Engine hot-path microbenchmarks (object vs array engine).
 
 Unlike the figure benchmarks (which time whole experiment sweeps), these
-isolate the two layers every sweep cell pays for on *every simulated page
-access*:
+isolate the layers every sweep cell pays for on *every simulated page
+access*, as matched object/array pairs:
 
-* ``test_event_loop_throughput`` — the bare simulator: schedule/fire a
-  large batch of self-rescheduling no-op events.  Measures queue
-  discipline (tuple-keyed heap, fused pop) with no protocol on top.
-* ``test_scc_step_loop_throughput`` — one in-process SCC-2S run at a
-  contended arrival rate.  Measures the full per-access stack: step loop,
-  conflict detection against the access index, shadow fork/block/promote,
-  and commit processing.
+* ``test_event_loop_throughput[_array]`` — the bare simulator:
+  schedule/fire a large batch of self-rescheduling no-op events.
+  Measures queue discipline (tuple-keyed heap vs bucketed dispatch) with
+  no protocol on top.
+* ``test_scc_step_loop_throughput[_array]`` — one in-process SCC-2S run
+  at a contended arrival rate.  Measures the full per-access stack: step
+  loop, conflict detection against the access index, shadow
+  fork/block/promote, and commit processing.
+* ``test_workload_generation_throughput`` /
+  ``test_workload_tensor_throughput_array`` — building one sweep cell's
+  workload: the per-transaction generator loop vs
+  :meth:`WorkloadTensors.from_config` (batched RNG draws).
+* ``test_arrival_load_throughput[_array]`` — loading a sorted workload
+  into the simulator: per-spec ``schedule_at`` heap pushes vs one
+  ``schedule_batch`` arrival track.
 
-Both report ``events_per_sec`` in ``extra_info``; the regression gate
-(`scripts/check_bench_regression.py`) tracks their wall clock like every
-other entry in BENCH_baseline.json.  See benchmarks/README.md for how to
-read the output and when re-baselining is legitimate.
+Every benchmark reports ``events_per_sec`` (where events are meaningful)
+in ``extra_info``; each array-engine entry additionally reports
+``object_vs_array_ratio`` — the measured speedup over its object
+counterpart *from the same run* — so the speedups land in
+BENCH_baseline.json next to the raw timings.  The regression gate
+(`scripts/check_bench_regression.py`) tracks wall clock like every other
+entry.  See benchmarks/README.md for how to read the output and when
+re-baselining is legitimate.
 """
 
 from repro.core.scc_2s import SCC2S
+from repro.engine.array import ArraySimulator, WorkloadTensors, build_simulator
 from repro.engine.rng import RandomStreams
 from repro.engine.simulator import Simulator
 from repro.experiments.config import baseline_config
@@ -31,10 +44,39 @@ from repro.workloads.generator import build_generator
 EVENT_BATCH = 200_000
 SCC_TRANSACTIONS = 400
 SCC_ARRIVAL_RATE = 150.0  # the high-contention knee of the fig13 sweep
+WORKLOAD_TRANSACTIONS = 12_000
+WORKLOAD_ARRIVAL_RATE = 120.0
+ARRIVAL_BATCH = 200_000
+
+# Object-engine wall clocks recorded as the module runs, so each array
+# entry can publish its measured speedup next to the raw timing.  pytest
+# collects tests in definition order, so every object entry lands here
+# before its array counterpart looks it up.
+_OBJECT_SECONDS: dict[str, float] = {}
 
 
-def _drive_event_loop(num_events: int) -> int:
-    sim = Simulator()
+def _record(benchmark, pair: str, engine: str, events: int = 0) -> None:
+    seconds = benchmark.stats.stats.min
+    if engine == "object":
+        _OBJECT_SECONDS[pair] = seconds
+    else:
+        base = _OBJECT_SECONDS.get(pair)
+        if base is not None:
+            benchmark.extra_info["object_vs_array_ratio"] = round(
+                base / seconds, 2
+            )
+    if events:
+        benchmark.extra_info["events_fired"] = events
+        benchmark.extra_info["events_per_sec"] = round(events / seconds)
+
+
+# ----------------------------------------------------------------------
+# pair 1: bare event loop
+# ----------------------------------------------------------------------
+
+
+def _drive_event_loop(num_events: int, engine: str) -> int:
+    sim = build_simulator(engine)
     remaining = [num_events]
 
     def tick() -> None:
@@ -51,39 +93,156 @@ def _drive_event_loop(num_events: int) -> int:
 
 def test_event_loop_throughput(benchmark):
     fired = benchmark.pedantic(
-        lambda: _drive_event_loop(EVENT_BATCH), rounds=1, iterations=1
+        lambda: _drive_event_loop(EVENT_BATCH, "object"),
+        rounds=5, iterations=1, warmup_rounds=1
     )
     assert fired >= EVENT_BATCH
-    benchmark.extra_info["events_fired"] = fired
-    benchmark.extra_info["events_per_sec"] = round(fired / benchmark.stats.stats.min)
+    _record(benchmark, "event_loop", "object", events=fired)
 
 
-def _run_scc_cell() -> RTDBSystem:
-    config = baseline_config(
+def test_event_loop_throughput_array(benchmark):
+    fired = benchmark.pedantic(
+        lambda: _drive_event_loop(EVENT_BATCH, "array"),
+        rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert fired >= EVENT_BATCH
+    _record(benchmark, "event_loop", "array", events=fired)
+
+
+# ----------------------------------------------------------------------
+# pair 2: full SCC cell (workload + run)
+# ----------------------------------------------------------------------
+
+
+def _scc_config():
+    return baseline_config(
         num_transactions=SCC_TRANSACTIONS,
         warmup_commits=40,
         replications=1,
         arrival_rates=(SCC_ARRIVAL_RATE,),
         check_serializability=False,
     )
-    generator = build_generator(config, SCC_ARRIVAL_RATE, RandomStreams(config.seed))
+
+
+def _run_scc_cell(engine: str) -> RTDBSystem:
+    config = _scc_config()
     system = RTDBSystem(
         protocol=SCC2S(),
         num_pages=config.num_pages,
         metrics=MetricsCollector(warmup_commits=config.warmup_commits),
         record_history=False,
+        engine=engine,
     )
-    system.load_workload(generator.generate(config.num_transactions))
+    streams = RandomStreams(config.seed)
+    if engine == "array":
+        tensors = WorkloadTensors.from_config(config, SCC_ARRIVAL_RATE, streams)
+        system.load_workload(tensors.materialize())
+    else:
+        generator = build_generator(config, SCC_ARRIVAL_RATE, streams)
+        system.load_workload(generator.generate(config.num_transactions))
     system.run()
     return system
 
 
 def test_scc_step_loop_throughput(benchmark):
-    system = benchmark.pedantic(_run_scc_cell, rounds=1, iterations=1)
+    system = benchmark.pedantic(
+        lambda: _run_scc_cell("object"), rounds=3, iterations=1, warmup_rounds=1
+    )
     # Every transaction must have committed (soft deadlines), or the run
     # measured a broken simulation rather than the hot path.
     assert system.committed_count == SCC_TRANSACTIONS
-    fired = system.sim.events_fired
-    benchmark.extra_info["events_fired"] = fired
-    benchmark.extra_info["events_per_sec"] = round(fired / benchmark.stats.stats.min)
+    _record(benchmark, "scc_cell", "object", events=system.sim.events_fired)
     benchmark.extra_info["restarts"] = system.metrics.restarts
+
+
+def test_scc_step_loop_throughput_array(benchmark):
+    system = benchmark.pedantic(
+        lambda: _run_scc_cell("array"), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert system.committed_count == SCC_TRANSACTIONS
+    _record(benchmark, "scc_cell", "array", events=system.sim.events_fired)
+    benchmark.extra_info["restarts"] = system.metrics.restarts
+
+
+# ----------------------------------------------------------------------
+# pair 3: one sweep cell's workload construction
+# ----------------------------------------------------------------------
+
+
+def _workload_config():
+    return baseline_config(
+        num_transactions=WORKLOAD_TRANSACTIONS,
+        warmup_commits=40,
+        replications=1,
+        arrival_rates=(WORKLOAD_ARRIVAL_RATE,),
+        check_serializability=False,
+    )
+
+
+def test_workload_generation_throughput(benchmark):
+    config = _workload_config()
+
+    def generate():
+        streams = RandomStreams(config.seed).spawn(0)
+        generator = build_generator(config, WORKLOAD_ARRIVAL_RATE, streams)
+        return list(generator.generate(config.num_transactions))
+
+    specs = benchmark.pedantic(generate, rounds=7, iterations=1, warmup_rounds=1)
+    assert len(specs) == WORKLOAD_TRANSACTIONS
+    _record(benchmark, "workload_tensors", "object")
+    benchmark.extra_info["transactions"] = len(specs)
+
+
+def test_workload_tensor_throughput_array(benchmark):
+    config = _workload_config()
+
+    def precompute():
+        streams = RandomStreams(config.seed).spawn(0)
+        return WorkloadTensors.from_config(
+            config, WORKLOAD_ARRIVAL_RATE, streams
+        )
+
+    tensors = benchmark.pedantic(precompute, rounds=7, iterations=1, warmup_rounds=1)
+    assert len(tensors) == WORKLOAD_TRANSACTIONS
+    _record(benchmark, "workload_tensors", "array")
+    benchmark.extra_info["transactions"] = len(tensors)
+
+
+# ----------------------------------------------------------------------
+# pair 4: loading a sorted workload into the simulator
+# ----------------------------------------------------------------------
+
+
+def _noop(index: int) -> None:
+    pass
+
+
+def test_arrival_load_throughput(benchmark):
+    times = [0.001 * (i + 1) for i in range(ARRIVAL_BATCH)]
+
+    def load() -> Simulator:
+        sim = Simulator()
+        schedule_at = sim.schedule_at
+        for i, t in enumerate(times):
+            schedule_at(t, _noop, i)
+        return sim
+
+    sim = benchmark.pedantic(load, rounds=5, iterations=1, warmup_rounds=1)
+    assert sim.pending_events == ARRIVAL_BATCH
+    _record(benchmark, "arrival_load", "object")
+    benchmark.extra_info["entries"] = ARRIVAL_BATCH
+
+
+def test_arrival_load_throughput_array(benchmark):
+    times = [0.001 * (i + 1) for i in range(ARRIVAL_BATCH)]
+    payloads = [(i,) for i in range(ARRIVAL_BATCH)]
+
+    def load() -> ArraySimulator:
+        sim = ArraySimulator()
+        sim.schedule_batch(times, _noop, payloads)
+        return sim
+
+    sim = benchmark.pedantic(load, rounds=5, iterations=1, warmup_rounds=1)
+    assert sim.pending_events == ARRIVAL_BATCH
+    _record(benchmark, "arrival_load", "array")
+    benchmark.extra_info["entries"] = ARRIVAL_BATCH

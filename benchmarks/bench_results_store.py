@@ -12,13 +12,10 @@ regressing into the simulation budget.
 
 import os
 
-from repro.core.scc_2s import SCC2S
 from repro.experiments.runner import run_sweep
-from repro.protocols.occ_bc import OCCBroadcastCommit
-from repro.protocols.wait50 import Wait50
 from repro.results import RunStore
 
-PROTOCOLS = {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit, "WAIT-50": Wait50}
+PROTOCOLS = {"SCC-2S": "scc-2s", "OCC-BC": "occ-bc", "WAIT-50": "wait-50"}
 
 
 def test_store_cold_write_through(benchmark, bench_config, tmp_path):

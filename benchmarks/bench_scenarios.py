@@ -13,13 +13,11 @@ results double as a contention fingerprint per scenario.
 
 import pytest
 
-from repro.core.scc_2s import SCC2S
 from repro.experiments.figures import run_scenario
 from repro.metrics.report import format_series_table
-from repro.protocols.occ_bc import OCCBroadcastCommit
 from repro.workloads.scenarios import available_scenarios
 
-PROTOCOLS = {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}
+PROTOCOLS = {"SCC-2S": "scc-2s", "OCC-BC": "occ-bc"}
 
 
 @pytest.mark.parametrize("name", available_scenarios())

@@ -24,7 +24,7 @@ Run:  python examples/flash_sale.py [--rate TPS] [--transactions N]
 
 import argparse
 
-from repro import SCC2S, OCCBroadcastCommit, TwoPhaseLockingPA, Wait50, get_scenario
+from repro import get_scenario
 from repro.experiments.figures import run_scenario
 from repro.metrics.report import format_table
 
@@ -48,10 +48,10 @@ def main() -> None:
     results = run_scenario(
         scenario,
         protocols={
-            "SCC-2S": SCC2S,
-            "OCC-BC": OCCBroadcastCommit,
-            "WAIT-50": Wait50,
-            "2PL-PA": TwoPhaseLockingPA,
+            "SCC-2S": "scc-2s",
+            "OCC-BC": "occ-bc",
+            "WAIT-50": "wait-50",
+            "2PL-PA": "2pl-pa",
         },
         arrival_rates=[args.rate],
         num_transactions=args.transactions,

@@ -26,7 +26,7 @@ Run:  python examples/telecom_billing.py [--rate TPS] [--transactions N]
 
 import argparse
 
-from repro import SCC2S, SCCVW, get_scenario
+from repro import get_scenario
 from repro.experiments.figures import run_scenario
 from repro.metrics.report import format_table
 
@@ -45,8 +45,8 @@ def main() -> None:
     results = run_scenario(
         scenario,
         protocols={
-            "SCC-2S (value-oblivious)": SCC2S,
-            "SCC-VW (value-cognizant)": lambda: SCCVW(period=0.01),
+            "SCC-2S (value-oblivious)": "scc-2s",
+            "SCC-VW (value-cognizant)": "scc-vw?period=0.01",
         },
         arrival_rates=[args.rate],
         num_transactions=args.transactions,

@@ -1,0 +1,97 @@
+"""CI smoke check: object vs array engine, summaries diffed bit-for-bit.
+
+Runs every registered protocol over a reduced paper-baseline grid twice —
+once through the object engine, once through the array engine — and fails
+unless the two paths produce *identical* summaries (the array engine's
+core guarantee: batched mechanism can never leak into results).  A second
+pass sweeps every registered scenario under SCC-2S so each arrival
+process and access pattern (including the tensor fallback paths) is
+exercised.
+
+Usage::
+
+    python scripts/engine_parity_smoke.py [--transactions 200] [--rates 60,140]
+
+Exit codes: 0 identical, 1 mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import run_sweep
+from repro.protocols.registry import available_protocols
+from repro.workloads.scenarios import available_scenarios, get_scenario
+
+
+def _diff(label: str, obj_sweep, arr_sweep) -> list[str]:
+    mismatches = []
+    for rate_index, (obj_reps, arr_reps) in enumerate(
+        zip(obj_sweep.replications, arr_sweep.replications)
+    ):
+        for rep_index, (obj_summary, arr_summary) in enumerate(
+            zip(obj_reps, arr_reps)
+        ):
+            if obj_summary != arr_summary:
+                mismatches.append(
+                    f"{label} rate[{rate_index}] rep[{rep_index}]: "
+                    f"object {obj_summary} != array {arr_summary}"
+                )
+    return mismatches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--transactions", type=int, default=200)
+    parser.add_argument("--replications", type=int, default=2)
+    parser.add_argument("--rates", default="60,140")
+    parser.add_argument("--seed", type=int, default=90_1995)
+    args = parser.parse_args(argv)
+
+    rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
+    scale = dict(
+        num_transactions=args.transactions,
+        warmup_commits=min(200, args.transactions // 10),
+        replications=args.replications,
+        arrival_rates=rates,
+        seed=args.seed,
+        check_serializability=False,
+    )
+
+    mismatches: list[str] = []
+
+    # Pass 1: every registered protocol on the paper baseline.
+    roster = {name: name for name in available_protocols()}
+    config = get_scenario("paper-baseline").to_config(**scale)
+    t0 = time.perf_counter()
+    obj = run_sweep(roster, config, engine="object")
+    arr = run_sweep(roster, config, engine="array")
+    t1 = time.perf_counter()
+    for name in roster:
+        mismatches += _diff(f"paper-baseline/{name}", obj[name], arr[name])
+    print(
+        f"pass 1: {len(roster)} protocols x {len(rates)} rates x "
+        f"{args.replications} replications in {t1 - t0:.1f}s"
+    )
+
+    # Pass 2: every registered scenario under SCC-2S.
+    for scenario in available_scenarios():
+        config = get_scenario(scenario).to_config(**scale)
+        obj = run_sweep({"SCC-2S": "scc-2s"}, config, engine="object")
+        arr = run_sweep({"SCC-2S": "scc-2s"}, config, engine="array")
+        mismatches += _diff(f"{scenario}/SCC-2S", obj["SCC-2S"], arr["SCC-2S"])
+    print(f"pass 2: {len(available_scenarios())} scenarios under SCC-2S")
+
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} engine mismatch(es):")
+        for line in mismatches[:20]:
+            print(f"  {line}")
+        return 1
+    print("OK: object and array engines are bit-identical on every cell")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,15 +20,13 @@ import argparse
 import sys
 import time
 
-from repro.core.scc_2s import SCC2S
 from repro.experiments.config import baseline_config
 from repro.experiments.parallel import ProcessSweepExecutor
 from repro.experiments.runner import run_sweep
 from repro.metrics.report import format_table
-from repro.protocols.occ_bc import OCCBroadcastCommit
 from repro.workloads.scenarios import all_scenarios, get_scenario
 
-PROTOCOLS = {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}
+PROTOCOLS = {"SCC-2S": "scc-2s", "OCC-BC": "occ-bc"}
 
 
 def main(argv=None) -> int:

@@ -50,6 +50,7 @@ from typing import Optional
 from repro.core.conflict_table import AccessIndex, ConflictTable
 from repro.core.deferral import ImmediateCommit, TerminationPolicy
 from repro.core.shadow import Shadow, ShadowMode
+from repro.engine.kernels import select_fork_donor, select_replacement
 from repro.errors import InvariantViolation, ProtocolError
 from repro.protocols.base import CCProtocol, Execution, ExecutionState
 from repro.txn.spec import Step, TransactionSpec
@@ -391,8 +392,8 @@ class SCCProtocolBase(CCProtocol):
             in (ExecutionState.RUNNING, ExecutionState.BLOCKED, ExecutionState.READY)
         ]
         wait_for = frozenset({writer})
-        if donors:
-            donor = max(donors, key=lambda s: (s.pos, -s.serial))
+        donor = select_fork_donor(donors)
+        if donor is not None:
             shadow = donor.fork(ShadowMode.SPECULATIVE, wait_for)
         else:
             shadow = Shadow(runtime.spec, ShadowMode.SPECULATIVE, wait_for)
@@ -494,14 +495,9 @@ class SCCProtocolBase(CCProtocol):
         survivors = [
             (writer, s) for writer, s in runtime.speculatives.items() if s.alive
         ]
-        if survivors:
-            # Latest position wins; prefer the shadow that speculated on
-            # this very committer (Commit Rule case 1), then determinism.
-            def rank(item: tuple[int, Shadow]) -> tuple:
-                writer, s = item
-                return (s.pos, writer == committer_id, -s.serial)
-
-            writer, chosen = max(survivors, key=rank)
+        replacement = select_replacement(survivors, committer_id)
+        if replacement is not None:
+            writer, chosen = replacement
             del runtime.speculatives[writer]
             chosen.promote()
             runtime.optimistic = chosen

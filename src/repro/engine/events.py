@@ -25,6 +25,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.engine.kernels import event_sort_position, fires_before
 from repro.errors import SimulationError
 
 
@@ -73,16 +74,23 @@ class Event:
         """Prevent the event from firing.  Idempotent."""
         self._cancelled = True
 
+    def sort_position(self) -> tuple[float, int, int]:
+        """The event's position in the engine-wide total order.
+
+        Delegates to :func:`repro.engine.kernels.event_sort_position`, the
+        ordering kernel both engines share.
+        """
+        return event_sort_position(self.time, self.priority, self.sequence)
+
     def __lt__(self, other: "Event") -> bool:
         """Order events by ``(time, priority, sequence)``.
 
         Kept for API compatibility (e.g. sorting event lists in tests);
         the queue itself compares tuple entries and never calls this.
         """
-        return (self.time, self.priority, self.sequence) < (
-            other.time,
-            other.priority,
-            other.sequence,
+        return fires_before(
+            (self.time, self.priority, self.sequence),
+            (other.time, other.priority, other.sequence),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -25,8 +25,8 @@ table.
 specs, grid axes, execution policy, and store in one artifact.  Flags
 given on the command line (``--rates``, ``--transactions``,
 ``--replications``, ``--seed``, ``--executor``, ``--workers``,
-``--store``) override the spec for that invocation; everything omitted
-comes from the spec file.  ``specs`` lists the registered protocol
+``--store``, ``--engine``) override the spec for that invocation;
+everything omitted comes from the spec file.  ``specs`` lists the registered protocol
 families and their parameters (the vocabulary of ``protocols`` entries
 in spec files).
 
@@ -54,6 +54,7 @@ from dataclasses import replace
 from typing import Callable, Optional, Sequence
 
 from repro.core.shadow_counts import figure3_table
+from repro.engine.array import ENGINE_NAMES
 from repro.errors import ConfigurationError
 from repro.experiments import figures
 from repro.experiments.config import (
@@ -214,7 +215,7 @@ def _run_figure(command: str, args: argparse.Namespace) -> str:
     started = time.time()
     results: dict[str, SweepResult] = runner(
         config, arrival_rates=rates, executor=executor, store=store,
-        scenario=args.scenario,
+        scenario=args.scenario, engine=args.engine,
     )
     elapsed = time.time() - started
     some = next(iter(results.values()))
@@ -436,6 +437,7 @@ def _run_spec(args: argparse.Namespace) -> str:
             store=store,
             arrival_rates=rates,
             config=config,
+            engine=args.engine,
         )
     except ConfigurationError as exc:
         raise SystemExit(f"scc-experiments: error: {exc}")
@@ -545,6 +547,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for the process executor (default: all cores)",
+    )
+    parser.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default=None,
+        help="simulation engine (default: the spec's value for the run "
+        "command, else object); engines produce bit-identical results",
     )
     parser.add_argument(
         "--max-n", dest="max_n", type=int, default=8,

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Optional, Sequence
 
-from repro.core.scc_2s import SCC2S
 from repro.experiments.config import (
     ExperimentConfig,
     baseline_config,
@@ -30,14 +29,12 @@ from repro.experiments.runner import (
     SweepResult,
     run_sweep,
 )
-from repro.protocols.occ_bc import OCCBroadcastCommit
 from repro.protocols.registry import (
     REPLACEMENT_CHOICES,
     ProtocolSpec,
     get_protocol_family,
     parse_protocol_spec,
 )
-from repro.protocols.twopl_pa import TwoPhaseLockingPA
 
 # SCC-VW's re-evaluation/backstop period Δ: a small fraction of the mean
 # transaction execution time (96 ms) so deferral decisions track value
@@ -82,6 +79,7 @@ def run_scenario(
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
     store=None,
+    engine: Optional[str] = None,
     **config_overrides,
 ) -> dict[str, SweepResult]:
     """Run a registered (or ad-hoc) scenario through the sweep runner.
@@ -103,7 +101,7 @@ def run_scenario(
     config = scenario.to_config(**config_overrides)
     return run_sweep(protocols or fig14_protocols(), config, arrival_rates,
                      executor=executor, workers=workers, store=store,
-                     scenario=scenario.name)
+                     scenario=scenario.name, engine=engine)
 
 
 def run_fig13(
@@ -113,12 +111,13 @@ def run_fig13(
     workers: Optional[int] = None,
     store=None,
     scenario: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figures 13(a)+(b): Missed Ratio and Average Tardiness, baseline model."""
     return run_sweep(FIGURE_PROTOCOLS["fig13"](), config or baseline_config(),
                      arrival_rates,
                      executor=executor, workers=workers, store=store,
-                     scenario=scenario)
+                     scenario=scenario, engine=engine)
 
 
 def run_fig14a(
@@ -128,12 +127,13 @@ def run_fig14a(
     workers: Optional[int] = None,
     store=None,
     scenario: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figure 14(a): System Value, one transaction class (45° gradient)."""
     return run_sweep(FIGURE_PROTOCOLS["fig14a"](), config or baseline_config(),
                      arrival_rates,
                      executor=executor, workers=workers, store=store,
-                     scenario=scenario)
+                     scenario=scenario, engine=engine)
 
 
 def run_fig14b(
@@ -143,12 +143,13 @@ def run_fig14b(
     workers: Optional[int] = None,
     store=None,
     scenario: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figure 14(b): System Value, the 10%/90% two-class mix."""
     return run_sweep(FIGURE_PROTOCOLS["fig14b"](), config or two_class_config(),
                      arrival_rates,
                      executor=executor, workers=workers, store=store,
-                     scenario=scenario)
+                     scenario=scenario, engine=engine)
 
 
 def run_fig15(
@@ -158,12 +159,13 @@ def run_fig15(
     workers: Optional[int] = None,
     store=None,
     scenario: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Figures 15(a)+(b): SCC-VW's Missed Ratio / Average Tardiness."""
     return run_sweep(FIGURE_PROTOCOLS["fig15"](), config or baseline_config(),
                      arrival_rates,
                      executor=executor, workers=workers, store=store,
-                     scenario=scenario)
+                     scenario=scenario, engine=engine)
 
 
 # ----------------------------------------------------------------------
@@ -279,7 +281,7 @@ def run_ablation_resources(
             )(count)
             label = f"servers={count}"
         sweep = run_sweep(
-            {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit, "2PL-PA": TwoPhaseLockingPA},
+            _spec_mapping("scc-2s", "occ-bc", "2pl-pa"),
             config,
             arrival_rates=[arrival_rate],
             resources=factory,

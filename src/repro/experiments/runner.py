@@ -15,10 +15,12 @@ same path.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.analysis.serializability import check_serializable
+from repro.engine.array import WorkloadTensors
 from repro.engine.rng import RandomStreams
 from repro.errors import (
     ConfigurationError,
@@ -89,6 +91,14 @@ def normalize_protocols(
             label = spec.label if label is None else label
             factory: ProtocolFactory = spec
         elif callable(value):
+            warnings.warn(
+                "passing zero-arg protocol factories to run_sweep is "
+                "deprecated; use registry ProtocolSpec entries (e.g. the "
+                "spec string 'scc-2s' or 'scc-vw?period=0.01') so results "
+                "are fingerprinted by their full protocol identity",
+                DeprecationWarning,
+                stacklevel=3,
+            )
             spec = None
             factory = value
             if label is None:
@@ -124,16 +134,30 @@ def run_once(
     arrival_rate: float,
     replication: int = 0,
     resources: Optional[ResourceFactory] = None,
+    engine: Optional[str] = None,
+    tensors: Optional[WorkloadTensors] = None,
 ) -> RunSummary:
     """Run one complete simulation and return its summary.
+
+    Args:
+        protocol_factory: Zero-arg factory producing the protocol.
+        config: Experiment configuration.
+        arrival_rate: Mean arrival rate for this run.
+        replication: Replication index (workload stream selector).
+        resources: Optional resource-manager factory.
+        engine: Simulation engine name (``"object"``/``"array"``;
+            ``None`` means object).  Results are bit-identical across
+            engines.
+        tensors: Optional precomputed workload tensors for the array
+            engine (must match ``(config, arrival_rate, replication)``);
+            computed on the fly when omitted.  Ignored by the object
+            engine.
 
     Raises:
         InvariantViolation: If the committed history is not serializable
             (when ``config.check_serializability`` is set) — a protocol
             bug, never a workload property.
     """
-    streams = RandomStreams(config.seed).spawn(replication)
-    generator = build_generator(config, arrival_rate, streams)
     resource_factory = resources or _default_resources
     system = RTDBSystem(
         protocol=protocol_factory(),
@@ -141,8 +165,17 @@ def run_once(
         resources=resource_factory(config),
         metrics=MetricsCollector(warmup_commits=config.warmup_commits),
         record_history=config.check_serializability,
+        engine=engine,
     )
-    system.load_workload(generator.generate(config.num_transactions))
+    if engine == "array":
+        if tensors is None:
+            streams = RandomStreams(config.seed).spawn(replication)
+            tensors = WorkloadTensors.from_config(config, arrival_rate, streams)
+        system.load_workload(tensors.materialize())
+    else:
+        streams = RandomStreams(config.seed).spawn(replication)
+        generator = build_generator(config, arrival_rate, streams)
+        system.load_workload(generator.generate(config.num_transactions))
     system.run()
     if config.check_serializability and system.history is not None:
         if not check_serializable(system.history):
@@ -256,6 +289,7 @@ def run_sweep(
     on_progress: Optional[ProgressCallback] = None,
     store: Union[RunStore, str, os.PathLike, None] = None,
     scenario: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> dict[str, SweepResult]:
     """Run every protocol over the arrival-rate sweep with replications.
 
@@ -305,6 +339,10 @@ def run_sweep(
             JSONL file (created on first append).
         scenario: Scenario name recorded as metadata on stored records
             (:func:`~repro.experiments.figures.run_scenario` supplies it).
+        engine: Simulation engine name (``"object"``/``"array"``;
+            ``None`` means object).  Engines are bit-identical, so the
+            choice is deliberately *not* part of the cell fingerprint —
+            a store populated under one engine serves the other.
 
     Returns:
         name -> :class:`SweepResult`.
@@ -328,13 +366,32 @@ def run_sweep(
     names = list(factories)
     cells = build_cells(names, rates, config.replications)
 
+    # One tensor set per (rate, replication) cell, shared across every
+    # protocol of that cell: the workload depends only on those
+    # coordinates.  The cache lives in this closure, so the process
+    # executor (fork start method) shares it per worker chunk while the
+    # serial path reuses every entry.
+    tensor_cache: dict[tuple[float, int], WorkloadTensors] = {}
+
     def run_cell(cell: SweepCell) -> RunSummary:
+        tensors = None
+        if engine == "array":
+            key = (cell.arrival_rate, cell.replication)
+            tensors = tensor_cache.get(key)
+            if tensors is None:
+                streams = RandomStreams(config.seed).spawn(cell.replication)
+                tensors = WorkloadTensors.from_config(
+                    config, cell.arrival_rate, streams
+                )
+                tensor_cache[key] = tensors
         return run_once(
             factories[cell.protocol],
             config,
             arrival_rate=cell.arrival_rate,
             replication=cell.replication,
             resources=resources,
+            engine=engine,
+            tensors=tensors,
         )
 
     # Legacy (name, rate, replication) progress: fire on "started" ticks

@@ -35,6 +35,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Sequence, Union
 
+from repro.engine.array import ENGINE_NAMES
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig, baseline_config
 from repro.experiments.runner import (
@@ -65,6 +66,7 @@ _SPEC_KEYS = frozenset(
         "executor",
         "workers",
         "store",
+        "engine",
     }
 )
 
@@ -94,6 +96,11 @@ class ExperimentSpec:
             ``"process"``).
         workers: Default worker count for the process executor.
         store: Default run-store path (JSONL).
+        engine: Default simulation engine (``"object"`` / ``"array"``);
+            ``None`` means the reference object engine.  Part of the
+            execution policy, *not* of the experiment identity: engines
+            are bit-identical, so the choice never enters the run-store
+            fingerprint.
     """
 
     protocols: tuple[ProtocolSpec, ...]
@@ -107,8 +114,14 @@ class ExperimentSpec:
     executor: Optional[str] = None
     workers: Optional[int] = None
     store: Optional[str] = None
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.engine is not None and self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from "
+                f"{list(ENGINE_NAMES)}"
+            )
         if not self.protocols:
             raise ConfigurationError(
                 "experiment spec needs at least one protocol"
@@ -187,6 +200,7 @@ class ExperimentSpec:
             "executor": self.executor,
             "workers": self.workers,
             "store": self.store,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -244,6 +258,7 @@ class ExperimentSpec:
             executor=data.get("executor"),
             workers=data.get("workers"),
             store=data.get("store"),
+            engine=data.get("engine"),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -331,12 +346,14 @@ class ExperimentSpec:
         progress=None,
         on_progress=None,
         config: Optional[ExperimentConfig] = None,
+        engine: Optional[str] = None,
         **config_overrides: Any,
     ) -> dict[str, SweepResult]:
         """Execute the experiment through the sweep runner.
 
         Keyword arguments override the spec's own execution policy
-        (``executor``/``workers``/``store``) for this invocation only;
+        (``executor``/``workers``/``store``/``engine``) for this
+        invocation only;
         ``config_overrides`` pass to :meth:`to_config` (e.g.
         ``num_transactions=200`` for a smoke run).  A caller that
         already built the config (to print status from it, say) can pass
@@ -357,6 +374,7 @@ class ExperimentSpec:
             executor=executor if executor is not None else self.executor,
             workers=workers if workers is not None else self.workers,
             store=store if store is not None else self.store,
+            engine=engine if engine is not None else self.engine,
             progress=progress,
             on_progress=on_progress,
             scenario=self.scenario_name(),
@@ -448,6 +466,7 @@ class Experiment:
             "executor",
             "workers",
             "store",
+            "engine",
         ):
             value = getattr(spec, name)
             if value is not None:
@@ -533,6 +552,11 @@ class Experiment:
     def store(self, path: Union[str, os.PathLike]) -> "Experiment":
         """Set the default run-store path (makes runs resumable)."""
         self._fields["store"] = os.fspath(path)
+        return self
+
+    def engine(self, name: str) -> "Experiment":
+        """Set the simulation engine (``"object"`` / ``"array"``)."""
+        self._fields["engine"] = name
         return self
 
     # -- terminal operations -------------------------------------------

@@ -27,14 +27,23 @@ re-derivation of program length (cached on the execution).  The hook
 methods are resolved once at ``bind`` time, so protocols must override
 them in the class body, not by assigning instance attributes after
 binding.
+
+State transitions themselves live in :mod:`repro.engine.kernels` — pure
+functions shared with the array engine (:mod:`repro.engine.array`), so
+both engines compute identical readset/writeset updates by construction.
+The hottest trivial guards (epoch staleness, first-write detection,
+program exhaustion) are inlined here with a comment naming the kernel
+they realize; the kernels remain the specification and are tested
+directly.
 """
 
 from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, NamedTuple, Optional
+from typing import TYPE_CHECKING, Optional
 
+from repro.engine.kernels import ReadRecord, record_access
 from repro.errors import InvariantViolation, ProtocolError
 from repro.txn.spec import Step, TransactionSpec
 
@@ -51,24 +60,6 @@ class ExecutionState(enum.Enum):
     FINISHED = "finished"  # program exhausted, awaiting commit decision
     COMMITTED = "committed"
     ABORTED = "aborted"
-
-
-class ReadRecord(NamedTuple):
-    """One page read performed by an execution.
-
-    Attributes
-    ----------
-    position : int
-        Program position of the (first) read of this page.
-    version : int
-        Committed page version observed.
-    time : float
-        Simulated time of the read.
-    """
-
-    position: int
-    version: int
-    time: float
 
 
 class Execution:
@@ -379,6 +370,8 @@ class CCProtocol(ABC):
             mismatch means the execution was aborted/blocked while in
             service and the completion is dropped.
         """
+        # Inline of kernels.completion_is_stale (this frame fires once per
+        # simulated page access; the guard stays call-free).
         if execution.epoch != epoch or execution.state is not ExecutionState.RUNNING:
             return  # the execution was aborted/blocked while in service
         system = self.system
@@ -387,13 +380,11 @@ class CCProtocol(ABC):
         page = step.page
         version = system.db.version(page)
         now = system.sim.now
-        prior = execution.readset.get(page)
-        if prior is None:
-            execution.readset[page] = ReadRecord(pos, version, now)
-        else:
-            # Re-access of a page (possible in hand-built programs): keep the
-            # first position, observe the latest version.
-            execution.readset[page] = ReadRecord(prior[0], version, now)
+        execution.readset[page] = record_access(
+            execution.readset.get(page), pos, version, now
+        )
+        # Inline of kernels.writeset_addition: only the first write of a
+        # page is recorded.
         if step.is_write and page not in execution.writeset:
             execution.writeset[page] = pos
         execution.pos = pos + 1

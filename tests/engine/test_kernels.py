@@ -1,0 +1,131 @@
+"""Unit tests for the pure state-transition kernels."""
+
+from types import SimpleNamespace
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.kernels import (
+    ReadRecord,
+    completion_is_stale,
+    event_sort_position,
+    fires_before,
+    program_exhausted,
+    record_access,
+    select_fork_donor,
+    select_replacement,
+    writeset_addition,
+)
+
+
+def shadow(pos, serial):
+    return SimpleNamespace(pos=pos, serial=serial)
+
+
+# ----------------------------------------------------------------------
+# access bookkeeping
+# ----------------------------------------------------------------------
+
+
+def test_record_access_first_read_records_position():
+    record = record_access(None, pos=3, version=7, now=1.5)
+    assert record == ReadRecord(3, 7, 1.5)
+
+
+def test_record_access_reread_keeps_first_position():
+    first = record_access(None, pos=1, version=2, now=0.5)
+    second = record_access(first, pos=6, version=9, now=2.0)
+    assert second.position == 1  # first touch wins
+    assert second.version == 9 and second.time == 2.0
+
+
+def test_writeset_addition_only_first_write():
+    assert writeset_addition(is_write=True, already_recorded=False)
+    assert not writeset_addition(is_write=True, already_recorded=True)
+    assert not writeset_addition(is_write=False, already_recorded=False)
+
+
+def test_program_exhausted_boundary():
+    assert not program_exhausted(4, 5)
+    assert program_exhausted(5, 5)
+    assert program_exhausted(6, 5)
+
+
+def test_completion_is_stale_epoch_and_state():
+    assert not completion_is_stale(2, 2, is_running=True)
+    assert completion_is_stale(3, 2, is_running=True)  # epoch bumped
+    assert completion_is_stale(2, 2, is_running=False)  # blocked/aborted
+
+
+# ----------------------------------------------------------------------
+# shadow selection
+# ----------------------------------------------------------------------
+
+
+def test_fork_donor_empty_is_none():
+    assert select_fork_donor([]) is None
+
+
+def test_fork_donor_latest_position_wins():
+    early, late = shadow(2, serial=0), shadow(5, serial=1)
+    assert select_fork_donor([early, late]) is late
+
+
+def test_fork_donor_tie_breaks_by_creation_order():
+    older, newer = shadow(3, serial=1), shadow(3, serial=2)
+    assert select_fork_donor([newer, older]) is older
+
+
+def test_replacement_empty_is_none():
+    assert select_replacement([], committer_id=9) is None
+
+
+def test_replacement_prefers_latest_position():
+    survivors = [(1, shadow(2, 0)), (2, shadow(6, 1))]
+    assert select_replacement(survivors, committer_id=1) == survivors[1]
+
+
+def test_replacement_prefers_committer_among_position_ties():
+    survivors = [(1, shadow(4, 0)), (7, shadow(4, 1))]
+    # Commit Rule case 1: the shadow hedging against the committer wins
+    # even though the other was created first.
+    assert select_replacement(survivors, committer_id=7) == survivors[1]
+
+
+def test_replacement_final_tie_breaks_by_creation_order():
+    survivors = [(2, shadow(4, 3)), (3, shadow(4, 1))]
+    assert select_replacement(survivors, committer_id=9) == survivors[1]
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 20)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_fork_donor_is_permutation_invariant(raw):
+    # Deterministic choice must not depend on candidate enumeration order.
+    donors = [shadow(pos, serial) for serial, (pos, _) in enumerate(raw)]
+    chosen = select_fork_donor(donors)
+    assert select_fork_donor(list(reversed(donors))) is chosen
+
+
+# ----------------------------------------------------------------------
+# event ordering
+# ----------------------------------------------------------------------
+
+
+def test_event_sort_position_is_the_triple():
+    assert event_sort_position(1.5, 2, 9) == (1.5, 2, 9)
+
+
+@given(
+    st.tuples(st.floats(0, 100), st.integers(0, 10), st.integers(0, 1000)),
+    st.tuples(st.floats(0, 100), st.integers(0, 10), st.integers(0, 1000)),
+)
+def test_fires_before_is_lexicographic(a, b):
+    assert fires_before(a, b) == (a < b)
+    # Antisymmetry on distinct keys: exactly one direction fires first.
+    if a != b:
+        assert fires_before(a, b) != fires_before(b, a)

@@ -197,9 +197,10 @@ def test_run_spec_bit_identical_to_direct_run_sweep(capsys, tmp_path):
         num_transactions=120, warmup_commits=12, replications=1,
         arrival_rates=(60.0, 120.0),
     )
-    legacy = run_sweep(
-        {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, config
-    )
+    with pytest.warns(DeprecationWarning, match="protocol factories"):
+        legacy = run_sweep(
+            {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, config
+        )
     by_cell = {
         (r["protocol"], r["arrival_rate"], r["replication"]): r["summary"]
         for r in records

@@ -1,0 +1,127 @@
+"""Engine selection plumbing: spec field, CLI flag, fingerprint neutrality.
+
+Engines are bit-identical by contract (see the parity and golden-array
+suites), so the engine choice is *execution policy*: it must round-trip
+through the spec JSON, be validated early, be overridable at run time —
+and it must never leak into result identity.  A store populated under
+one engine has to serve the other without recomputing a single cell.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cli import main as cli_main
+from repro.experiments.config import baseline_config
+from repro.experiments.runner import run_sweep
+from repro.experiments.spec import Experiment, ExperimentSpec
+from repro.results.fingerprint import config_payload
+from repro.results.store import RunStore
+
+SMALL = baseline_config(
+    num_transactions=80,
+    warmup_commits=8,
+    replications=1,
+    arrival_rates=(60.0,),
+    check_serializability=False,
+)
+
+
+# ----------------------------------------------------------------------
+# ExperimentSpec field
+# ----------------------------------------------------------------------
+
+
+def test_engine_round_trips_through_json():
+    spec = ExperimentSpec.create(["scc-2s"], engine="array")
+    rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert rebuilt.engine == "array"
+    assert rebuilt == spec
+
+
+def test_engine_defaults_to_none_and_stays_out_of_the_payload():
+    spec = ExperimentSpec.create(["scc-2s"])
+    assert spec.engine is None
+    assert "engine" not in {
+        k for k, v in spec.to_dict().items() if v is None
+    } or spec.to_dict().get("engine") is None
+
+
+def test_unknown_engine_rejected_at_construction():
+    with pytest.raises(ConfigurationError, match="engine"):
+        ExperimentSpec.create(["scc-2s"], engine="vector")
+
+
+def test_builder_sets_engine_and_from_spec_copies_it():
+    spec = Experiment.baseline().protocols("scc-2s").engine("array").build()
+    assert spec.engine == "array"
+    derived = Experiment.from_spec(spec).build()
+    assert derived.engine == "array"
+
+
+def test_spec_run_engine_kwarg_overrides_spec_field():
+    spec = ExperimentSpec.create(
+        ["scc-2s"],
+        arrival_rates=(60.0,),
+        num_transactions=80,
+        warmup_commits=8,
+        replications=1,
+        engine="object",
+    )
+    via_field = spec.run()
+    via_override = spec.run(engine="array")
+    assert (
+        via_field["SCC-2S"].replications
+        == via_override["SCC-2S"].replications
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI flag
+# ----------------------------------------------------------------------
+
+
+def test_cli_engine_flag_is_bit_identical(capsys):
+    args = ["fig13a", "--transactions", "80",
+            "--replications", "1", "--rates", "100"]
+    outputs = []
+    for engine_args in ([], ["--engine", "array"]):
+        assert cli_main(args + engine_args) == 0
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1]
+
+
+def test_cli_rejects_unknown_engine(capsys):
+    with pytest.raises(SystemExit):
+        cli_main(["fig13a", "--engine", "vector"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# fingerprint neutrality
+# ----------------------------------------------------------------------
+
+
+def test_config_payload_carries_no_engine_key():
+    payload = config_payload(SMALL)
+    assert "engine" not in payload
+
+
+def test_store_populated_under_object_serves_array(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    cold = run_sweep({"SCC-2S": "scc-2s"}, SMALL, store=path, engine="object")
+    assert len(RunStore(path)) == 1
+    # Same grid under the array engine: every cell must come from the
+    # store (record count unchanged), with bit-identical summaries.
+    warm = run_sweep({"SCC-2S": "scc-2s"}, SMALL, store=path, engine="array")
+    assert len(RunStore(path)) == 1
+    assert warm["SCC-2S"].replications == cold["SCC-2S"].replications
+
+
+def test_store_populated_under_array_serves_object(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    cold = run_sweep({"SCC-2S": "scc-2s"}, SMALL, store=path, engine="array")
+    warm = run_sweep({"SCC-2S": "scc-2s"}, SMALL, store=path)
+    assert len(RunStore(path)) == 1
+    assert warm["SCC-2S"].replications == cold["SCC-2S"].replications

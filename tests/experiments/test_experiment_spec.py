@@ -248,9 +248,10 @@ class TestToConfig:
 class TestRunEquivalence:
     def test_spec_run_bit_identical_to_legacy_run_sweep(self):
         config = baseline_config(**SMOKE, arrival_rates=(60.0, 140.0))
-        legacy = run_sweep(
-            {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, config
-        )
+        with pytest.warns(DeprecationWarning, match="protocol factories"):
+            legacy = run_sweep(
+                {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, config
+            )
         spec_results = small_spec().run()
         assert set(legacy) == set(spec_results)
         for name in legacy:
@@ -277,7 +278,8 @@ class TestNormalizeProtocols:
         assert specs["SCC-3S"] == parse_protocol_spec("scc-ks?k=3")
 
     def test_mapping_with_legacy_factories_keeps_name_identity(self):
-        factories, specs = normalize_protocols({"SCC-2S": SCC2S})
+        with pytest.warns(DeprecationWarning, match="protocol factories"):
+            factories, specs = normalize_protocols({"SCC-2S": SCC2S})
         assert factories["SCC-2S"] is SCC2S
         assert specs["SCC-2S"] is None
 
@@ -287,8 +289,9 @@ class TestNormalizeProtocols:
         assert specs["mine"].family == "scc-ks"
 
     def test_bare_factory_without_label_rejected(self):
-        with pytest.raises(ConfigurationError, match="needs a label"):
-            normalize_protocols([SCC2S])
+        with pytest.warns(DeprecationWarning, match="protocol factories"):
+            with pytest.raises(ConfigurationError, match="needs a label"):
+                normalize_protocols([SCC2S])
 
     def test_uninterpretable_entry_rejected(self):
         with pytest.raises(ConfigurationError, match="cannot interpret"):

@@ -7,7 +7,6 @@ equality under fixed seeds.
 
 import pytest
 
-from repro.core.scc_2s import SCC2S
 from repro.errors import ConfigurationError, SweepExecutionError
 from repro.experiments.config import baseline_config
 from repro.experiments.parallel import (
@@ -21,7 +20,6 @@ from repro.experiments.parallel import (
     resolve_executor,
 )
 from repro.experiments.runner import build_cells, run_sweep
-from repro.protocols.occ_bc import OCCBroadcastCommit
 
 SMALL = baseline_config(
     num_transactions=120,
@@ -30,7 +28,7 @@ SMALL = baseline_config(
     arrival_rates=(40.0, 80.0),
     check_serializability=False,
 )
-PROTOCOLS = {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}
+PROTOCOLS = {"SCC-2S": "scc-2s", "OCC-BC": "occ-bc"}
 
 
 def _cells(n):
@@ -194,11 +192,14 @@ def test_sweep_failures_aggregate():
         def __getattr__(self, attr):
             raise RuntimeError("protocol cannot run")
 
-    protocols = {"SCC-2S": SCC2S, "BAD": Exploding}
+    # Exploding is not registry-representable, so it stays a legacy
+    # factory and run_sweep warns about it before the cells execute.
+    protocols = {"SCC-2S": "scc-2s", "BAD": Exploding}
     config = SMALL.scaled(num_transactions=60, warmup_commits=5,
                           replications=1, arrival_rates=[40.0])
-    with pytest.raises(SweepExecutionError) as excinfo:
-        run_sweep(protocols, config, executor="process", workers=2)
+    with pytest.warns(DeprecationWarning, match="protocol factories"):
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_sweep(protocols, config, executor="process", workers=2)
     failures = excinfo.value.failures
     # The good protocol's cell ran to completion; only BAD's cell failed.
     assert [f.cell.protocol for f in failures] == ["BAD"]
@@ -208,7 +209,7 @@ def test_sweep_failures_aggregate():
 def test_legacy_progress_fires_on_completion_in_parallel():
     calls = []
     run_sweep(
-        {"SCC-2S": SCC2S},
+        {"SCC-2S": "scc-2s"},
         SMALL.scaled(num_transactions=40, warmup_commits=2, replications=1,
                      arrival_rates=[30.0, 60.0]),
         progress=lambda name, rate, rep: calls.append((name, rate, rep)),

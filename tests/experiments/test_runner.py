@@ -6,7 +6,6 @@ from repro.core.scc_2s import SCC2S
 from repro.experiments.config import baseline_config
 from repro.experiments.runner import run_once, run_sweep
 from repro.protocols.occ_bc import OCCBroadcastCommit
-from repro.protocols.serial import SerialExecution
 
 
 SMALL = baseline_config(
@@ -39,7 +38,7 @@ def test_different_replications_differ():
 
 def test_sweep_shapes_and_metrics():
     results = run_sweep(
-        {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, SMALL
+        {"SCC-2S": "scc-2s", "OCC-BC": "occ-bc"}, SMALL
     )
     assert set(results) == {"SCC-2S", "OCC-BC"}
     sweep = results["SCC-2S"]
@@ -54,7 +53,7 @@ def test_sweep_shapes_and_metrics():
 def test_progress_callback_invoked():
     calls = []
     run_sweep(
-        {"Serial": SerialExecution},
+        {"Serial": "serial"},
         SMALL.scaled(num_transactions=40, warmup_commits=2, replications=1,
                      arrival_rates=[30.0]),
         progress=lambda name, rate, rep: calls.append((name, rate, rep)),

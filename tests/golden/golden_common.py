@@ -6,20 +6,20 @@ reduced-but-meaningful scale and serializes every :class:`RunSummary`
 field with full float precision.  JSON round-trips Python floats exactly
 (shortest-repr), so equality against the committed reference is
 *bit-identical* equality of every metric.
+
+``compute_golden_payload`` takes the engine name, so the same committed
+reference gates both the object and the array engine: any divergence
+between them (event ordering, RNG batching, workload tensors) fails the
+array run against the reference the object engine produced.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+from typing import Optional
 
-from repro.core.scc_2s import SCC2S
-from repro.core.scc_vw import SCCVW
-from repro.experiments.figures import VW_PERIOD
 from repro.experiments.runner import run_sweep
-from repro.protocols.occ_bc import OCCBroadcastCommit
-from repro.protocols.twopl_pa import TwoPhaseLockingPA
-from repro.protocols.wait50 import Wait50
 from repro.workloads.scenarios import get_scenario
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_reference.json")
@@ -42,21 +42,30 @@ def golden_protocols() -> dict:
     """The protocol roster the golden gate sweeps.
 
     Covers every concurrency-control family in the library: two-shadow
-    speculation (SCC-2S), value-cognizant deferred speculation (SCC-VW),
-    optimistic broadcast commit (OCC-BC), wait-controlled OCC (WAIT-50),
-    and locking with priority abort (2PL-PA).
+    speculation (SCC-2S), value-cognizant deferred speculation (SCC-VW,
+    at its registry-default period), optimistic broadcast commit
+    (OCC-BC), wait-controlled OCC (WAIT-50), and locking with priority
+    abort (2PL-PA).  Entries are registry spec strings with the
+    reference's historical labels, so result keys stay stable.
     """
     return {
-        "SCC-2S": SCC2S,
-        "SCC-VW": lambda: SCCVW(period=VW_PERIOD),
-        "OCC-BC": OCCBroadcastCommit,
-        "WAIT-50": Wait50,
-        "2PL-PA": TwoPhaseLockingPA,
+        "SCC-2S": "scc-2s",
+        "SCC-VW": "scc-vw",
+        "OCC-BC": "occ-bc",
+        "WAIT-50": "wait-50",
+        "2PL-PA": "2pl-pa",
     }
 
 
-def compute_golden_payload() -> dict:
-    """Run the golden sweeps and return the JSON-serializable payload."""
+def compute_golden_payload(engine: Optional[str] = None) -> dict:
+    """Run the golden sweeps and return the JSON-serializable payload.
+
+    Parameters
+    ----------
+    engine : str, optional
+        Simulation engine to run under (``"object"``/``"array"``); the
+        payload must be identical regardless.
+    """
     scenarios_out = {}
     for name in SCENARIOS:
         scenario = get_scenario(name)
@@ -66,7 +75,7 @@ def compute_golden_payload() -> dict:
             replications=REPLICATIONS,
             arrival_rates=ARRIVAL_RATES,
         )
-        results = run_sweep(golden_protocols(), config)
+        results = run_sweep(golden_protocols(), config, engine=engine)
         summaries = {
             protocol: [
                 [dataclasses.asdict(summary) for summary in per_rate]

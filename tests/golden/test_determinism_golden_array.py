@@ -1,0 +1,51 @@
+"""Golden gate under the array engine.
+
+Replays the full golden payload (two scenarios, five protocol families,
+two rates) through ``engine="array"`` and asserts metric-for-metric
+equality against the *same* committed reference the object engine is
+gated on.  This is the array engine's acceptance criterion: not merely
+"deterministic", but indistinguishable from the reference engine on the
+committed record.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.golden.golden_common import GOLDEN_PATH, compute_golden_payload
+
+
+@pytest.fixture(scope="module")
+def reference() -> dict:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def current_array() -> dict:
+    return json.loads(json.dumps(compute_golden_payload(engine="array")))
+
+
+def test_array_engine_matches_committed_reference(reference, current_array):
+    """Every metric of every array-engine run equals the object reference."""
+    assert current_array["scale"] == reference["scale"]
+    assert set(current_array["scenarios"]) == set(reference["scenarios"])
+    for scenario, ref_block in reference["scenarios"].items():
+        cur_block = current_array["scenarios"][scenario]
+        assert set(cur_block["summaries"]) == set(ref_block["summaries"])
+        for protocol, ref_sweep in ref_block["summaries"].items():
+            cur_sweep = cur_block["summaries"][protocol]
+            for rate_idx, (ref_rate, cur_rate) in enumerate(
+                zip(ref_sweep, cur_sweep, strict=True)
+            ):
+                for rep_idx, (ref_summary, cur_summary) in enumerate(
+                    zip(ref_rate, cur_rate, strict=True)
+                ):
+                    for metric, ref_value in ref_summary.items():
+                        assert cur_summary[metric] == ref_value, (
+                            f"array engine diverges from reference at "
+                            f"{scenario} / {protocol} / rate[{rate_idx}] / "
+                            f"rep[{rep_idx}] / {metric}"
+                        )

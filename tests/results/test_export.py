@@ -5,7 +5,6 @@ import dataclasses
 import io
 import json
 
-from repro.core.scc_2s import SCC2S
 from repro.experiments.config import baseline_config
 from repro.experiments.runner import run_sweep
 from repro.results.export import (
@@ -31,7 +30,7 @@ SMALL = baseline_config(
 
 
 def test_records_from_results_cover_the_full_grid(tmp_path):
-    results = run_sweep({"SCC-2S": SCC2S}, SMALL)
+    results = run_sweep({"SCC-2S": "scc-2s"}, SMALL)
     records = records_from_results(SMALL, results)
     assert len(records) == 4  # 1 protocol x 2 rates x 2 replications
     coords = {(r.protocol, r.arrival_rate, r.replication) for r in records}
@@ -43,14 +42,21 @@ def test_records_from_results_cover_the_full_grid(tmp_path):
 
 def test_records_from_results_fingerprints_match_the_store(tmp_path):
     # The export path and the store path must address cells identically.
+    from repro.protocols.registry import protocol_spec
+
     path = tmp_path / "runs.jsonl"
-    results = run_sweep({"SCC-2S": SCC2S}, SMALL, store=path)
-    exported = {r.fingerprint for r in records_from_results(SMALL, results)}
+    specs = {"SCC-2S": protocol_spec("scc-2s")}
+    results = run_sweep({"SCC-2S": "scc-2s"}, SMALL, store=path)
+    exported = {
+        r.fingerprint
+        for r in records_from_results(SMALL, results, protocol_specs=specs)
+    }
     stored = {r.fingerprint for r in RunStore(path)}
     assert exported == stored
-    for record in records_from_results(SMALL, results):
+    for record in records_from_results(SMALL, results, protocol_specs=specs):
         assert record.fingerprint == cell_fingerprint(
-            SMALL, record.protocol, record.arrival_rate, record.replication
+            SMALL, specs[record.protocol], record.arrival_rate,
+            record.replication,
         )
 
 

@@ -32,7 +32,7 @@ def counting(factory):
 
 
 def test_cold_store_run_matches_storeless_run(tmp_path):
-    protocols = {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}
+    protocols = {"SCC-2S": "scc-2s", "OCC-BC": "occ-bc"}
     plain = run_sweep(protocols, SMALL)
     stored = run_sweep(protocols, SMALL, store=tmp_path / "runs.jsonl")
     for name in protocols:
@@ -40,19 +40,23 @@ def test_cold_store_run_matches_storeless_run(tmp_path):
 
 
 def test_resume_runs_only_missing_cells_and_is_bit_identical(tmp_path):
+    # Counting how many cells actually ran requires legacy factories
+    # (label-as-identity), which run_sweep now warns about; both the
+    # populating and the resuming sweeps must share that identity.
     path = tmp_path / "runs.jsonl"
     protocols = {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}
-    cold = run_sweep(protocols, SMALL)
+    with pytest.warns(DeprecationWarning, match="protocol factories"):
+        cold = run_sweep(protocols, SMALL)
 
-    # Interrupted sweep: only the first arrival rate got done.
-    run_sweep(protocols, SMALL, arrival_rates=[40.0], store=path)
-    assert len(RunStore(path)) == 4
+        # Interrupted sweep: only the first arrival rate got done.
+        run_sweep(protocols, SMALL, arrival_rates=[40.0], store=path)
+        assert len(RunStore(path)) == 4
 
-    factory, calls = counting(SCC2S)
-    factory2, calls2 = counting(OCCBroadcastCommit)
-    resumed = run_sweep(
-        {"SCC-2S": factory, "OCC-BC": factory2}, SMALL, store=path
-    )
+        factory, calls = counting(SCC2S)
+        factory2, calls2 = counting(OCCBroadcastCommit)
+        resumed = run_sweep(
+            {"SCC-2S": factory, "OCC-BC": factory2}, SMALL, store=path
+        )
     # Only the 90.0-rate cells ran (2 protocols x 2 replications).
     assert len(calls) == 2 and len(calls2) == 2
     for name in protocols:
@@ -63,16 +67,20 @@ def test_resume_runs_only_missing_cells_and_is_bit_identical(tmp_path):
 def test_fully_warm_store_runs_nothing(tmp_path):
     path = tmp_path / "runs.jsonl"
     protocols = {"SCC-2S": SCC2S}
-    first = run_sweep(protocols, SMALL, store=path)
-    factory, calls = counting(SCC2S)
-    warm = run_sweep({"SCC-2S": factory}, SMALL, store=path)
+    with pytest.warns(DeprecationWarning, match="protocol factories"):
+        first = run_sweep(protocols, SMALL, store=path)
+        factory, calls = counting(SCC2S)
+        warm = run_sweep({"SCC-2S": factory}, SMALL, store=path)
     assert calls == []
     assert warm["SCC-2S"].replications == first["SCC-2S"].replications
 
 
 def test_truncated_store_reruns_only_the_lost_cell(tmp_path):
     path = tmp_path / "runs.jsonl"
-    run_sweep({"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, SMALL, store=path)
+    with pytest.warns(DeprecationWarning, match="protocol factories"):
+        run_sweep(
+            {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, SMALL, store=path
+        )
     with open(path, "rb+") as fh:
         data = fh.read()
         fh.seek(0)
@@ -83,10 +91,13 @@ def test_truncated_store_reruns_only_the_lost_cell(tmp_path):
     assert len(recovered) == 7
     factory, calls = counting(SCC2S)
     factory2, calls2 = counting(OCCBroadcastCommit)
-    cold = run_sweep({"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, SMALL)
-    resumed = run_sweep(
-        {"SCC-2S": factory, "OCC-BC": factory2}, SMALL, store=recovered
-    )
+    with pytest.warns(DeprecationWarning, match="protocol factories"):
+        cold = run_sweep(
+            {"SCC-2S": SCC2S, "OCC-BC": OCCBroadcastCommit}, SMALL
+        )
+        resumed = run_sweep(
+            {"SCC-2S": factory, "OCC-BC": factory2}, SMALL, store=recovered
+        )
     assert len(calls) + len(calls2) == 1  # just the torn cell
     for name in ("SCC-2S", "OCC-BC"):
         assert resumed[name].replications == cold[name].replications
@@ -94,8 +105,8 @@ def test_truncated_store_reruns_only_the_lost_cell(tmp_path):
 
 def test_store_accepts_instance_and_path_equally(tmp_path):
     path = tmp_path / "runs.jsonl"
-    via_path = run_sweep({"SCC-2S": SCC2S}, SMALL, store=str(path))
-    via_instance = run_sweep({"SCC-2S": SCC2S}, SMALL, store=RunStore(path))
+    via_path = run_sweep({"SCC-2S": "scc-2s"}, SMALL, store=str(path))
+    via_instance = run_sweep({"SCC-2S": "scc-2s"}, SMALL, store=RunStore(path))
     assert via_path["SCC-2S"].replications == via_instance["SCC-2S"].replications
 
 
@@ -109,8 +120,11 @@ def test_failed_cells_are_not_persisted_and_retry_on_rerun(tmp_path):
             raise RuntimeError("protocol cannot run")
 
     config = SMALL.scaled(replications=1, arrival_rates=[40.0])
-    with pytest.raises(SweepExecutionError) as excinfo:
-        run_sweep({"SCC-2S": SCC2S, "BAD": Exploding}, config, store=path)
+    # BAD is not registry-representable, so it stays a (warned-about)
+    # legacy factory; SCC-2S keeps factory identity to match it.
+    with pytest.warns(DeprecationWarning, match="protocol factories"):
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_sweep({"SCC-2S": SCC2S, "BAD": Exploding}, config, store=path)
     assert [f.cell.protocol for f in excinfo.value.failures] == ["BAD"]
     # The good cell was persisted before the sweep raised; the bad one
     # was not, so a fixed rerun retries exactly it.
@@ -118,7 +132,8 @@ def test_failed_cells_are_not_persisted_and_retry_on_rerun(tmp_path):
     assert len(store) == 1
     assert store.records()[0].protocol == "SCC-2S"
     factory, calls = counting(OCCBroadcastCommit)
-    fixed = run_sweep({"SCC-2S": SCC2S, "BAD": factory}, config, store=path)
+    with pytest.warns(DeprecationWarning, match="protocol factories"):
+        fixed = run_sweep({"SCC-2S": SCC2S, "BAD": factory}, config, store=path)
     assert len(calls) == 1
     assert set(fixed) == {"SCC-2S", "BAD"}
 
@@ -131,7 +146,7 @@ def test_store_refuses_custom_resource_factories(tmp_path):
 
     factory = lambda cfg: FiniteResources(cfg.cpu_time, cfg.io_time, num_servers=2)
     with pytest.raises(ConfigurationError, match="resources"):
-        run_sweep({"SCC-2S": SCC2S}, SMALL, resources=factory,
+        run_sweep({"SCC-2S": "scc-2s"}, SMALL, resources=factory,
                   store=tmp_path / "runs.jsonl")
 
 
@@ -139,7 +154,7 @@ def test_scenario_name_is_recorded_as_metadata(tmp_path):
     path = tmp_path / "runs.jsonl"
     run_scenario(
         "flash-sale-hotspot",
-        protocols={"SCC-2S": SCC2S},
+        protocols={"SCC-2S": "scc-2s"},
         arrival_rates=[60.0],
         store=path,
         num_transactions=80,
@@ -153,7 +168,7 @@ def test_scenario_name_is_recorded_as_metadata(tmp_path):
 
 def test_store_round_trip_preserves_seed_and_coordinates(tmp_path):
     path = tmp_path / "runs.jsonl"
-    run_sweep({"SCC-2S": SCC2S}, SMALL, store=path)
+    run_sweep({"SCC-2S": "scc-2s"}, SMALL, store=path)
     for record in RunStore(path):
         assert record.seed == SMALL.seed
         assert record.protocol == "SCC-2S"

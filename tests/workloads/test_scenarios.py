@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.scc_2s import SCC2S
 from repro.errors import ConfigurationError
 from repro.experiments.config import baseline_config
 from repro.experiments.figures import run_scenario
@@ -115,7 +114,7 @@ class TestEndToEnd:
     def test_scenario_runs_through_executor(self, name, executor):
         results = run_scenario(
             name,
-            protocols={"SCC-2S": SCC2S},
+            protocols={"SCC-2S": "scc-2s"},
             arrival_rates=[110.0],
             executor=executor,
             workers=2 if executor == "process" else None,
@@ -137,12 +136,12 @@ class TestEndToEnd:
             check_serializability=False,
         )
         legacy = run_sweep(
-            {"SCC-2S": SCC2S},
+            {"SCC-2S": "scc-2s"},
             baseline_config(**kwargs),
             arrival_rates=[70.0, 150.0],
         )
         scenario = run_sweep(
-            {"SCC-2S": SCC2S},
+            {"SCC-2S": "scc-2s"},
             get_scenario("paper-baseline").to_config(**kwargs),
             arrival_rates=[70.0, 150.0],
         )
@@ -151,7 +150,7 @@ class TestEndToEnd:
 
     def test_serial_and_process_agree_on_a_scenario(self):
         kwargs = dict(
-            protocols={"SCC-2S": SCC2S},
+            protocols={"SCC-2S": "scc-2s"},
             arrival_rates=[120.0],
             num_transactions=120,
             warmup_commits=12,
