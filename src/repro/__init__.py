@@ -88,6 +88,14 @@ from repro.workloads.scenarios import (
     scenario_from_dict,
 )
 from repro.results import RunRecord, RunStore, cell_fingerprint, config_fingerprint
+from repro.telemetry import (
+    JsonlTracer,
+    MemoryTracer,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    read_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -103,9 +111,12 @@ __all__ = [
     "HotspotAccess",
     "InfiniteResources",
     "InvariantViolation",
+    "JsonlTracer",
     "LatestBlockedFirstOut",
     "MMPPArrivals",
+    "MemoryTracer",
     "MetricsCollector",
+    "NullTracer",
     "OCCBroadcastCommit",
     "PartitionedAccess",
     "PoissonArrivals",
@@ -128,6 +139,8 @@ __all__ = [
     "Simulator",
     "Step",
     "TraceArrivals",
+    "TraceEvent",
+    "Tracer",
     "TransactionClass",
     "TransactionGenerator",
     "TransactionSpec",
@@ -149,6 +162,7 @@ __all__ = [
     "mean_confidence_interval",
     "parse_protocol_spec",
     "protocol_spec",
+    "read_trace",
     "register_protocol",
     "register_scenario",
     "scenario_from_dict",

@@ -6,13 +6,14 @@ from repro.analysis.serializability import (
     precedence_graph,
     serialization_order,
 )
-from repro.analysis.timeline import TimelineEvent, TimelineRecorder
+from repro.analysis.timeline import TimelineEvent, TimelineRecorder, TimelineRow
 
 __all__ = [
     "CommittedTransaction",
     "History",
     "TimelineEvent",
     "TimelineRecorder",
+    "TimelineRow",
     "check_serializable",
     "precedence_graph",
     "serialization_order",

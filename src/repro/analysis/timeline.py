@@ -16,7 +16,21 @@ Example output for the Figure 2(b) conflict::
 
 The renderer is deliberately simulation-agnostic: it only consumes the
 observer events plus the simulated clock, so it works for any SCC variant
-and any workload.
+and any workload.  It has two front doors:
+
+* live — :meth:`TimelineRecorder.attach` to an SCC protocol's
+  ``observer`` hook before running;
+* post-hoc — :meth:`TimelineRecorder.from_trace` over the typed events
+  of a recorded trace file
+  (:func:`repro.telemetry.events.read_trace`), which works for *any*
+  protocol, not just SCC, because traces carry the generic transaction
+  lifecycle too.
+
+Rendering is split so other frontends can reuse the layout:
+:meth:`TimelineRecorder.rows` returns structured
+:class:`TimelineRow` values (label + painted track), and
+:meth:`TimelineRecorder.render` merely joins them under a header — the
+CLI's ``repro trace timeline`` consumes the same rows.
 """
 
 from __future__ import annotations
@@ -41,6 +55,29 @@ class TimelineEvent:
     lane: int  # shadow serial number
     mode: str
     position: int
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    """One rendered timeline lane, in structured form.
+
+    Attributes:
+        txn_id: Transaction the lane belongs to.
+        serial: Shadow serial (the lane key).
+        mode: Execution mode at spawn (``"optimistic"``,
+            ``"speculative"``, or ``"execution"`` for non-shadow lanes).
+        promoted: Whether the lane was promoted to optimistic.
+        label: The human lane label (``T3 shadow#7 spec    ``).
+        track: The painted activity strip (markers + ``=``/``.`` fill),
+            right-trimmed.
+    """
+
+    txn_id: int
+    serial: int
+    mode: str
+    promoted: bool
+    label: str
+    track: str
 
 
 @dataclass
@@ -108,20 +145,96 @@ class TimelineRecorder:
         self.events.append(event)
 
     # ------------------------------------------------------------------
+    # trace ingestion
+    # ------------------------------------------------------------------
+
+    #: Trace event kind -> observer vocabulary.  ``shadow_fork`` splits
+    #: on its ``origin`` payload (restart forks render ``R``); ``abort``
+    #: doubles as ``kill`` for non-shadow lanes.
+    _TRACE_KINDS = {
+        "shadow_fork": "spawn",
+        "shadow_prune": "kill",
+        "shadow_promote": "promote",
+        "block": "block",
+        "txn_finish": "finish",
+        "commit": "commit",
+        "abort": "kill",
+    }
+
+    @classmethod
+    def from_trace(cls, events) -> "TimelineRecorder":
+        """Build a recorder from typed trace events (post-hoc timelines).
+
+        Args:
+            events: Iterable of
+                :class:`~repro.telemetry.events.TraceEvent` — e.g.
+                :func:`repro.telemetry.events.read_trace` over a file
+                written by a ``--trace`` run.  Events whose kind has no
+                timeline meaning (``txn_start``, ``step_complete``,
+                ``vote``, ...) are skipped; events without a lane
+                (``restart`` notices) are too.
+
+        Returns:
+            A recorder ready to :meth:`render` — no protocol attachment
+            involved.
+        """
+        recorder = cls()
+        for ev in events:
+            kind = cls._TRACE_KINDS.get(ev.kind)
+            if kind is None or ev.lane is None:
+                continue
+            if kind == "spawn" and (ev.data or {}).get("origin") == "restart":
+                kind = "restart"
+            lane = recorder._lanes.get(ev.lane)
+            if lane is None:
+                lane = _Lane(
+                    txn_id=ev.txn,
+                    serial=ev.lane,
+                    mode=ev.mode if ev.mode is not None else "execution",
+                )
+                recorder._lanes[ev.lane] = lane
+            if kind == "promote":
+                lane.promoted = True
+            if (
+                kind == "kill"
+                and lane.events
+                and lane.events[-1].kind == "kill"
+                and lane.events[-1].time == ev.time
+            ):
+                # A pruned shadow whose abort is also system-recorded
+                # emits shadow_prune + abort back to back; one A suffices.
+                continue
+            event = TimelineEvent(
+                time=ev.time,
+                kind=kind,
+                txn_id=ev.txn,
+                lane=ev.lane,
+                mode=lane.mode,
+                position=ev.pos if ev.pos is not None else 0,
+            )
+            lane.events.append(event)
+            recorder.events.append(event)
+        return recorder
+
+    # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
 
-    def render(self, width: int = 72) -> str:
-        """Draw the recorded run as one text lane per shadow.
+    def rows(self, width: int = 72) -> list[TimelineRow]:
+        """Lay the recorded run out as structured rows, one per lane.
 
         Args:
             width: Character budget for the time axis; the run's duration
                 is scaled to fit.
+
+        Returns:
+            :class:`TimelineRow` values in lane (serial) order; empty
+            when nothing was recorded.
         """
-        if not self.events:
-            return "(no shadow events recorded)"
         if width < 8:
             raise ConfigurationError(f"width must be >= 8, got {width}")
+        if not self.events:
+            return []
         t_max = max(e.time for e in self.events)
         scale = (width - 1) / t_max if t_max > 0 else 0.0
 
@@ -137,10 +250,7 @@ class TimelineRecorder:
             "finish": "F",
             "commit": "C",
         }
-        lines = []
-        label_width = max(
-            len(self._label(lane)) for lane in self._lanes.values()
-        )
+        rows = []
         for serial in sorted(self._lanes):
             lane = self._lanes[serial]
             row = [" "] * width
@@ -152,9 +262,33 @@ class TimelineRecorder:
                     row[col] = fill
             for event in lane.events:
                 row[column(event.time)] = marker[event.kind]
-            lines.append(
-                f"{self._label(lane).ljust(label_width)}  {''.join(row).rstrip()}"
+            rows.append(
+                TimelineRow(
+                    txn_id=lane.txn_id,
+                    serial=lane.serial,
+                    mode=lane.mode,
+                    promoted=lane.promoted,
+                    label=self._label(lane),
+                    track="".join(row).rstrip(),
+                )
             )
+        return rows
+
+    def render(self, width: int = 72) -> str:
+        """Draw the recorded run as one text lane per shadow.
+
+        Args:
+            width: Character budget for the time axis; the run's duration
+                is scaled to fit.
+        """
+        rows = self.rows(width)
+        if not rows:
+            return "(no shadow events recorded)"
+        t_max = max(e.time for e in self.events)
+        label_width = max(len(row.label) for row in rows)
+        lines = [
+            f"{row.label.ljust(label_width)}  {row.track}" for row in rows
+        ]
         header = f"{'lane'.ljust(label_width)}  0{'-' * (width - 8)}t={t_max:g}"
         return "\n".join([header] + lines)
 
@@ -164,8 +298,10 @@ class TimelineRecorder:
             tag = "opt     "
         elif lane.promoted:
             tag = "spec>opt"
-        else:
+        elif lane.mode == "speculative":
             tag = "spec    "
+        else:
+            tag = "exec    "
         return f"T{lane.txn_id} shadow#{lane.serial} {tag}"
 
     def lanes_for(self, txn_id: int) -> list[int]:

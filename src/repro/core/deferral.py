@@ -171,6 +171,7 @@ class DeferredTermination(TerminationPolicy):
         self._evaluating = True
         try:
             progress = True
+            tracer = self.protocol._tracer
             while progress:
                 self._dirty = False
                 progress = False
@@ -184,11 +185,22 @@ class DeferredTermination(TerminationPolicy):
                         and now - self._finished_at.get(txn_id, now)
                         >= self.max_deferral
                     )
-                    if (
+                    decision = (
                         not self.protocol.transaction_has_conflicts(runtime)
                         or overdue
                         or self.should_commit(runtime, now)
-                    ):
+                    )
+                    if tracer is not None:
+                        tracer.emit(
+                            "vote",
+                            now,
+                            txn_id,
+                            data={
+                                "decision": "commit" if decision else "defer",
+                                "pending": len(self._pool),
+                            },
+                        )
+                    if decision:
                         del self._pool[txn_id]
                         self.protocol.commit_transaction(runtime)
                         progress = True

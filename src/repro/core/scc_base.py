@@ -125,8 +125,54 @@ class SCCProtocolBase(CCProtocol):
         #: Used by :mod:`repro.analysis.timeline` to draw execution
         #: diagrams; ``None`` (the default) costs nothing.
         self.observer = None
+        #: Live shadow count across all runtimes, maintained by _emit for
+        #: the ``peak_live_shadows`` telemetry gauge.
+        self._live_shadow_count = 0
+
+    #: Observer kinds that map onto SCC-specific trace events.  The
+    #: remaining kinds ("block", "finish", "commit") are already traced
+    #: at the base-protocol/system layer and are *not* re-emitted here.
+    _TRACE_KINDS = {
+        "spawn": "shadow_fork",
+        "restart": "shadow_fork",
+        "kill": "shadow_prune",
+        "promote": "shadow_promote",
+    }
 
     def _emit(self, kind: str, txn_id: int, shadow: Optional[Shadow]) -> None:
+        # Shadow-occupancy accounting rides the existing lifecycle
+        # notifications: spawn/restart create a live shadow, kill and
+        # commit retire one.  These are cold paths (per shadow, not per
+        # step), so the counters are effectively free.
+        system = self.system
+        if system is not None:
+            counters = system.counters
+            if kind in ("spawn", "restart"):
+                counters.incr("shadow_forks")
+                self._live_shadow_count += 1
+                counters.record_max("peak_live_shadows", self._live_shadow_count)
+            elif kind == "kill":
+                counters.incr("shadow_prunes")
+                self._live_shadow_count -= 1
+            elif kind == "commit":
+                self._live_shadow_count -= 1
+            tracer = self._tracer
+            if tracer is not None:
+                trace_kind = self._TRACE_KINDS.get(kind)
+                if trace_kind is not None:
+                    tracer.emit(
+                        trace_kind,
+                        system.sim.now,
+                        txn_id,
+                        serial=shadow.serial if shadow is not None else None,
+                        mode=shadow.mode.value if shadow is not None else None,
+                        pos=shadow.pos if shadow is not None else None,
+                        data=(
+                            {"origin": kind}
+                            if trace_kind == "shadow_fork"
+                            else None
+                        ),
+                    )
         if self.observer is not None:
             self.observer(kind, txn_id, shadow)
 

@@ -112,6 +112,12 @@ class ArraySimulator:
     ----------
     now : float
         Current simulated time (seconds).  Starts at 0.0.
+    metered : bool
+        When set, :meth:`run` tracks the peak live-event count in
+        :attr:`peak_pending` (one integer subtraction and compare per
+        fired event).  Off by default for bare-simulator use.
+    peak_pending : int
+        Highest live pending-event count observed while ``metered``.
     """
 
     __slots__ = (
@@ -126,6 +132,8 @@ class ArraySimulator:
         "_events_fired",
         "_running",
         "_drain_time",
+        "metered",
+        "peak_pending",
     )
 
     def __init__(self) -> None:
@@ -140,6 +148,8 @@ class ArraySimulator:
         self._events_fired = 0
         self._running = False
         self._drain_time: Optional[float] = None
+        self.metered = False
+        self.peak_pending = 0
 
     @property
     def events_fired(self) -> int:
@@ -390,6 +400,8 @@ class ArraySimulator:
         # into single float comparisons (event times are validated finite).
         budget = float("inf") if max_events is None else max_events
         limit = float("inf") if until is None else until
+        metered = self.metered
+        peak = self.peak_pending
         try:
             while fired < budget:
                 # Track machinery only engages when arrival tracks exist;
@@ -470,6 +482,13 @@ class ArraySimulator:
                         continue
                     fired += 1
                     entry[2](*entry[3])
+                    if metered:
+                        # _live is only batch-decremented in the finally
+                        # below; mid-run the live pending count is
+                        # _live minus the events already fired.
+                        pending = self._live - fired
+                        if pending > peak:
+                            peak = pending
                     if fired >= budget:
                         # Suspend mid-bucket: the remainder (bucket tail
                         # plus stragglers) goes back as a normal bucket.
@@ -490,6 +509,8 @@ class ArraySimulator:
             # cancel() still adjusts _live eagerly.
             self._live -= fired
             self._events_fired += fired
+            if metered and peak > self.peak_pending:
+                self.peak_pending = peak
             self._running = False
 
     def step(self) -> bool:

@@ -28,15 +28,23 @@ class Simulator:
     ----------
     now : float
         Current simulated time (seconds).  Starts at 0.0.
+    metered : bool
+        When set, :meth:`run` tracks the peak live-event queue depth in
+        :attr:`peak_pending` (one O(1) length read and integer compare
+        per fired event).  Off by default for bare-simulator use.
+    peak_pending : int
+        Highest live pending-event count observed while ``metered``.
     """
 
-    __slots__ = ("now", "_queue", "_running", "_events_fired")
+    __slots__ = ("now", "_queue", "_running", "_events_fired", "metered", "peak_pending")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue = EventQueue()
         self._running = False
         self._events_fired = 0
+        self.metered = False
+        self.peak_pending = 0
 
     @property
     def events_fired(self) -> int:
@@ -143,7 +151,10 @@ class Simulator:
             raise SimulationError("Simulator.run is not re-entrant")
         self._running = True
         fired = 0
-        pop_due = self._queue.pop_due
+        queue = self._queue
+        pop_due = queue.pop_due
+        metered = self.metered
+        peak = self.peak_pending
         try:
             while max_events is None or fired < max_events:
                 event = pop_due(until)
@@ -152,10 +163,16 @@ class Simulator:
                 self.now = event.time
                 fired += 1
                 event.callback(*event.args)
+                if metered:
+                    pending = len(queue)
+                    if pending > peak:
+                        peak = pending
             if until is not None and self.now < until:
                 self.now = until
         finally:
             self._events_fired += fired
+            if metered and peak > self.peak_pending:
+                self.peak_pending = peak
             self._running = False
 
     def step(self) -> bool:

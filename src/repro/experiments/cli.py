@@ -43,12 +43,25 @@ they complete, and an interrupted invocation picks up where it died.
 :class:`~repro.results.record.RunRecord` serialization (machine-readable;
 status lines go to stderr).  The ``results`` subcommand lists, exports,
 and diffs stored runs without re-simulating anything.
+
+Observability (see docs/ARCHITECTURE.md, "Telemetry & observability"):
+
+* ``repro run spec.json --trace events.jsonl`` records the typed
+  lifecycle event stream (``repro.telemetry``) of every cell to a JSONL
+  trace file (serial executor only);
+* ``repro run spec.json --profile out.pstats`` dumps a ``cProfile``
+  capture of the whole sweep;
+* ``repro trace summarize events.jsonl`` aggregates a trace file
+  (events per kind, cells, transactions, time span) and
+  ``repro trace timeline events.jsonl`` draws the first traced cell as
+  an ASCII shadow timeline;
+* ``--log-level debug|info|warning|error`` / ``--quiet`` control the
+  ``repro`` logger that all diagnostics flow through (stderr).
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 from dataclasses import replace
 from typing import Callable, Optional, Sequence
@@ -72,6 +85,12 @@ from repro.results import (
     records_to_json,
     write_csv,
 )
+from repro.telemetry.log import LOG_LEVELS, configure_logging, get_logger
+
+#: All CLI diagnostics (progress, status notes, warnings) flow through
+#: this logger onto stderr; stdout stays reserved for the actual output
+#: (tables / JSON / CSV).
+_log = get_logger("cli")
 
 _FIGURES = {
     "fig13a": ("Figure 13(a): Missed Ratio (%), baseline model", "missed"),
@@ -187,12 +206,25 @@ def _list_scenarios() -> str:
     )
 
 
-def _progress(protocol: str, rate: float, replication: int) -> None:
-    print(
-        f"  running {protocol:<10} rate={rate:<6g} replication={replication}",
-        file=sys.stderr,
-        flush=True,
-    )
+def _log_sweep_event(event) -> None:
+    """Route the unified sweep event stream onto the ``repro`` logger.
+
+    Every CLI sweep subscribes this to ``on_event``, so per-cell progress
+    notes land on stderr at INFO (``--quiet`` silences them) while table
+    output stays on stdout.
+    """
+    if event.kind == "cell_started":
+        cell = event.payload["cell"]
+        _log.info(
+            "  running %-10s rate=%-6g replication=%d",
+            cell["protocol"], cell["arrival_rate"], cell["replication"],
+        )
+    elif event.kind == "cell_outcome" and not event.payload["ok"]:
+        error = event.payload["error"]
+        _log.warning(
+            "  cell %s failed: %s: %s",
+            event.payload["cell"]["protocol"], error["type"], error["message"],
+        )
 
 
 def _resolve_executor_or_exit(args: argparse.Namespace):
@@ -216,6 +248,7 @@ def _run_figure(command: str, args: argparse.Namespace) -> str:
     results: dict[str, SweepResult] = runner(
         config, arrival_rates=rates, executor=executor, store=store,
         scenario=args.scenario, engine=args.engine,
+        on_event=_log_sweep_event,
     )
     elapsed = time.time() - started
     some = next(iter(results.values()))
@@ -262,7 +295,7 @@ def _machine_records(
     )
     if store is not None:
         records = [store.get(r.fingerprint) or r for r in records]
-    print(status, file=sys.stderr)
+    _log.info("%s", status)
     return _render_records(records, fmt)
 
 
@@ -283,10 +316,10 @@ def _load_store_or_exit(path: Optional[str]) -> RunStore:
         )
     store = RunStore(path)
     if store.corrupt_lines:
-        print(
-            f"note: {store.corrupt_lines} corrupt line(s) in {path} were "
-            "skipped (interrupted append?); affected cells will re-run",
-            file=sys.stderr,
+        _log.warning(
+            "note: %d corrupt line(s) in %s were skipped (interrupted "
+            "append?); affected cells will re-run",
+            store.corrupt_lines, path,
         )
     return store
 
@@ -410,6 +443,11 @@ def _run_spec(args: argparse.Namespace) -> str:
         spec = ExperimentSpec.load(args.action)
     except ConfigurationError as exc:
         raise SystemExit(f"scc-experiments: error: {exc}")
+    if args.log_level is None and (spec.telemetry or {}).get("log_level"):
+        # The spec's default log level applies when no flag overrides it.
+        configure_logging(
+            level=spec.telemetry["log_level"], quiet=args.quiet
+        )
     overrides = {}
     if args.seed is not None:
         overrides["seed"] = args.seed
@@ -431,14 +469,27 @@ def _run_spec(args: argparse.Namespace) -> str:
                 probe.warmup_commits, args.transactions // 10
             )
         config = spec.to_config(**overrides)
-        results = spec.run(
-            executor=args.executor,
-            workers=args.workers,
-            store=store,
-            arrival_rates=rates,
-            config=config,
-            engine=args.engine,
-        )
+
+        def execute():
+            return spec.run(
+                executor=args.executor,
+                workers=args.workers,
+                store=store,
+                arrival_rates=rates,
+                config=config,
+                engine=args.engine,
+                trace=args.trace,
+                on_event=_log_sweep_event,
+            )
+
+        if args.profile:
+            from repro.experiments.profiling import capture_profile
+
+            results, report = capture_profile(execute, dump_to=args.profile)
+            _log.info("profile written to %s", args.profile)
+            _log.debug("%s", report)
+        else:
+            results = execute()
     except ConfigurationError as exc:
         raise SystemExit(f"scc-experiments: error: {exc}")
     elapsed = time.time() - started
@@ -478,10 +529,10 @@ def _run_spec(args: argparse.Namespace) -> str:
 def _run_fig3(args: argparse.Namespace) -> str:
     if args.scenario is not None:
         # fig3 is an analytic shadow-count table; no workload is simulated.
-        print(
-            f"note: fig3 is workload-independent; --scenario {args.scenario} "
-            "does not apply to it",
-            file=sys.stderr,
+        _log.warning(
+            "note: fig3 is workload-independent; --scenario %s does not "
+            "apply to it",
+            args.scenario,
         )
     rows = figure3_table(max_n=args.max_n)
     return format_table(
@@ -489,6 +540,104 @@ def _run_fig3(args: argparse.Namespace) -> str:
         rows,
         title="Figure 3 / §2: shadows per transaction for n pairwise conflicts",
     )
+
+
+def _trace_cells(path):
+    """Split a trace file into per-cell event batches.
+
+    Returns:
+        ``(cells, markers)`` — one list of
+        :class:`~repro.telemetry.events.TraceEvent` per traced sweep
+        cell (a trace without ``cell_start`` markers is one cell), and
+        the marker payloads in file order.
+    """
+    from repro.telemetry.events import TraceEvent, is_marker, iter_trace
+
+    cells: list[list] = []
+    markers: list[dict] = []
+    current: list = []
+    for payload in iter_trace(path):
+        if is_marker(payload):
+            markers.append(payload)
+            if payload.get("marker") == "cell_start":
+                if current:
+                    cells.append(current)
+                current = []
+            continue
+        try:
+            current.append(TraceEvent.from_dict(payload))
+        except ConfigurationError as exc:
+            raise SystemExit(f"scc-experiments: error: bad trace event: {exc}")
+    if current:
+        cells.append(current)
+    return cells, markers
+
+
+def _trace_summarize(path) -> str:
+    """The ``repro trace summarize`` report: per-kind counts and extent."""
+    from repro.telemetry.events import EVENT_KINDS
+
+    cells, markers = _trace_cells(path)
+    events = [event for cell in cells for event in cell]
+    if not events:
+        return f"trace {path}: no events"
+    counts = {kind: 0 for kind in EVENT_KINDS}
+    txns = set()
+    for event in events:
+        counts[event.kind] += 1
+        txns.add(event.txn)
+    rows = [(kind, count) for kind, count in counts.items() if count]
+    t_min = min(event.time for event in events)
+    t_max = max(event.time for event in events)
+    return format_table(
+        ["event kind", "count"],
+        rows,
+        title=(
+            f"Trace {path}: {len(events)} events, {len(cells)} cell(s), "
+            f"{len(txns)} transaction(s), t={t_min:g}..{t_max:g}"
+        ),
+    )
+
+
+def _trace_timeline(path, width: int = 72) -> str:
+    """The ``repro trace timeline`` rendering of the first traced cell."""
+    from repro.analysis.timeline import TimelineRecorder
+
+    cells, _ = _trace_cells(path)
+    if not cells:
+        return f"trace {path}: no events"
+    if len(cells) > 1:
+        _log.warning(
+            "note: %s holds %d cells; the timeline shows the first "
+            "(lanes restart per cell)",
+            path, len(cells),
+        )
+    return TimelineRecorder.from_trace(cells[0]).render(width=width)
+
+
+def _run_trace(args: argparse.Namespace) -> str:
+    action = args.action or "summarize"
+    path = args.path
+    if action not in ("summarize", "timeline"):
+        if path is None:
+            # Friendly shorthand: `repro trace events.jsonl` summarizes.
+            action, path = "summarize", action
+        else:
+            raise SystemExit(
+                f"scc-experiments: error: unknown trace action {action!r} "
+                "(choose summarize or timeline)"
+            )
+    if path is None:
+        raise SystemExit(
+            "scc-experiments: error: the trace command needs a trace file "
+            "(scc-experiments trace summarize events.jsonl)"
+        )
+    try:
+        if action == "timeline":
+            return _trace_timeline(path)
+        return _trace_summarize(path)
+    except ConfigurationError as exc:
+        raise SystemExit(f"scc-experiments: error: {exc}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -502,11 +651,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         nargs="?",
         default="fig13a",
         choices=sorted(_FIGURES)
-        + ["fig3", "all", "scenarios", "specs", "run", "results"],
+        + ["fig3", "all", "scenarios", "specs", "run", "results", "trace"],
         help="which figure to regenerate, 'run' to execute a JSON "
         "experiment spec, 'scenarios'/'specs' to list the workload and "
-        "protocol registries, or 'results' to inspect a run store "
-        "(default: fig13a)",
+        "protocol registries, 'results' to inspect a run store, or "
+        "'trace' to inspect a JSONL trace file (default: fig13a)",
     )
     parser.add_argument(
         "action",
@@ -515,7 +664,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="action|spec.json",
         help="for the results command: list (default), export "
         "(--format json|csv), or diff (--against); for the run command: "
-        "the experiment-spec JSON file to execute",
+        "the experiment-spec JSON file to execute; for the trace "
+        "command: summarize (default) or timeline",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        metavar="trace.jsonl",
+        help="for the trace command: the JSONL trace file to inspect",
     )
     parser.add_argument(
         "--scenario", type=str, default=None,
@@ -571,12 +728,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--against", type=str, default=None,
         help="results diff: the run store to compare --store against",
     )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="run: record the typed lifecycle event stream of every cell "
+        "to a JSONL trace file (serial executor only; inspect with "
+        "'trace summarize'/'trace timeline')",
+    )
+    parser.add_argument(
+        "--profile", type=str, default=None, metavar="PATH",
+        help="run: dump a cProfile capture of the sweep to PATH "
+        "(loadable with pstats.Stats)",
+    )
+    parser.add_argument(
+        "--log-level", dest="log_level", choices=list(LOG_LEVELS),
+        default=None,
+        help="verbosity of the stderr diagnostics (default: info, or the "
+        "spec's telemetry.log_level for the run command)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress all diagnostics below error (overrides --log-level)",
+    )
     args = parser.parse_args(argv)
 
-    if args.action is not None and args.command not in ("results", "run"):
+    configure_logging(level=args.log_level or "info", quiet=args.quiet)
+    if args.action is not None and args.command not in (
+        "results", "run", "trace",
+    ):
         raise SystemExit(
             f"scc-experiments: error: '{args.action}' only applies to the "
-            "results and run commands"
+            "results, run, and trace commands"
+        )
+    if args.path is not None and args.command != "trace":
+        raise SystemExit(
+            f"scc-experiments: error: '{args.path}' only applies to the "
+            "trace command"
+        )
+    if (args.trace or args.profile) and args.command != "run":
+        flag = "--trace" if args.trace else "--profile"
+        raise SystemExit(
+            f"scc-experiments: error: {flag} only applies to the run "
+            "command (figure commands don't take it yet)"
         )
     if args.command == "results" and args.action not in (
         None, "list", "export", "diff",
@@ -601,6 +793,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return code
     if args.command == "run":
         print(_run_spec(args))
+        return 0
+    if args.command == "trace":
+        print(_run_trace(args))
         return 0
 
     commands = sorted(_FIGURES) + ["fig3"] if args.command == "all" else [args.command]

@@ -80,6 +80,7 @@ def run_scenario(
     workers: Optional[int] = None,
     store=None,
     engine: Optional[str] = None,
+    on_event: Optional[Callable] = None,
     **config_overrides,
 ) -> dict[str, SweepResult]:
     """Run a registered (or ad-hoc) scenario through the sweep runner.
@@ -90,6 +91,8 @@ def run_scenario(
         protocols: Protocol set; defaults to :func:`fig14_protocols` (the
             value-cognizant contenders).
         arrival_rates: Overrides the scenario's default sweep axis.
+        on_event: Optional subscriber for the unified sweep event stream
+            (see :func:`~repro.experiments.runner.run_sweep`).
         config_overrides: Passed to
             :meth:`~repro.workloads.scenarios.Scenario.to_config` (e.g.
             ``num_transactions=200, replications=1`` for smoke runs).
@@ -101,7 +104,8 @@ def run_scenario(
     config = scenario.to_config(**config_overrides)
     return run_sweep(protocols or fig14_protocols(), config, arrival_rates,
                      executor=executor, workers=workers, store=store,
-                     scenario=scenario.name, engine=engine)
+                     scenario=scenario.name, engine=engine,
+                     on_event=on_event)
 
 
 def run_fig13(
@@ -112,12 +116,13 @@ def run_fig13(
     store=None,
     scenario: Optional[str] = None,
     engine: Optional[str] = None,
+    on_event: Optional[Callable] = None,
 ) -> dict[str, SweepResult]:
     """Figures 13(a)+(b): Missed Ratio and Average Tardiness, baseline model."""
     return run_sweep(FIGURE_PROTOCOLS["fig13"](), config or baseline_config(),
                      arrival_rates,
                      executor=executor, workers=workers, store=store,
-                     scenario=scenario, engine=engine)
+                     scenario=scenario, engine=engine, on_event=on_event)
 
 
 def run_fig14a(
@@ -128,12 +133,13 @@ def run_fig14a(
     store=None,
     scenario: Optional[str] = None,
     engine: Optional[str] = None,
+    on_event: Optional[Callable] = None,
 ) -> dict[str, SweepResult]:
     """Figure 14(a): System Value, one transaction class (45° gradient)."""
     return run_sweep(FIGURE_PROTOCOLS["fig14a"](), config or baseline_config(),
                      arrival_rates,
                      executor=executor, workers=workers, store=store,
-                     scenario=scenario, engine=engine)
+                     scenario=scenario, engine=engine, on_event=on_event)
 
 
 def run_fig14b(
@@ -144,12 +150,13 @@ def run_fig14b(
     store=None,
     scenario: Optional[str] = None,
     engine: Optional[str] = None,
+    on_event: Optional[Callable] = None,
 ) -> dict[str, SweepResult]:
     """Figure 14(b): System Value, the 10%/90% two-class mix."""
     return run_sweep(FIGURE_PROTOCOLS["fig14b"](), config or two_class_config(),
                      arrival_rates,
                      executor=executor, workers=workers, store=store,
-                     scenario=scenario, engine=engine)
+                     scenario=scenario, engine=engine, on_event=on_event)
 
 
 def run_fig15(
@@ -160,12 +167,13 @@ def run_fig15(
     store=None,
     scenario: Optional[str] = None,
     engine: Optional[str] = None,
+    on_event: Optional[Callable] = None,
 ) -> dict[str, SweepResult]:
     """Figures 15(a)+(b): SCC-VW's Missed Ratio / Average Tardiness."""
     return run_sweep(FIGURE_PROTOCOLS["fig15"](), config or baseline_config(),
                      arrival_rates,
                      executor=executor, workers=workers, store=store,
-                     scenario=scenario, engine=engine)
+                     scenario=scenario, engine=engine, on_event=on_event)
 
 
 # ----------------------------------------------------------------------

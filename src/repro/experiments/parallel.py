@@ -23,6 +23,7 @@ results exactly.
 
 from __future__ import annotations
 
+import logging
 import math
 import multiprocessing
 import os
@@ -97,12 +98,18 @@ class CellError:
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """The result of running one cell: a summary or an error record."""
+    """The result of running one cell: a summary or an error record.
+
+    ``telemetry`` is the run's JSON-ready counter/gauge block (see
+    :func:`~repro.telemetry.counters.run_telemetry`) when the runner
+    produced one; ``None`` for error outcomes and legacy runners.
+    """
 
     cell: SweepCell
     summary: Optional[RunSummary]
     error: Optional[CellError]
     elapsed: float
+    telemetry: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -128,7 +135,9 @@ class ProgressEvent:
     ok: bool = True
 
 
-CellRunner = Callable[[SweepCell], RunSummary]
+#: Cell runners return either a bare RunSummary (legacy) or a
+#: ``(RunSummary, telemetry-dict)`` pair; _execute_cell normalizes both.
+CellRunner = Callable[[SweepCell], "RunSummary | tuple[RunSummary, Optional[dict]]"]
 ProgressCallback = Callable[[ProgressEvent], None]
 #: Parent-side hook fired once per materialized outcome (in completion
 #: order, not cell order).  This is the persistence seam: the run-record
@@ -148,7 +157,7 @@ def _execute_cell(cell: SweepCell, runner: CellRunner) -> CellOutcome:
     """Run one cell with fault isolation: exceptions become error records."""
     started = time.perf_counter()
     try:
-        summary = runner(cell)
+        result = runner(cell)
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         return CellOutcome(
             cell=cell,
@@ -156,11 +165,16 @@ def _execute_cell(cell: SweepCell, runner: CellRunner) -> CellOutcome:
             error=CellError.from_exception(exc),
             elapsed=time.perf_counter() - started,
         )
+    if isinstance(result, tuple):
+        summary, telemetry = result
+    else:
+        summary, telemetry = result, None
     return CellOutcome(
         cell=cell,
         summary=summary,
         error=None,
         elapsed=time.perf_counter() - started,
+        telemetry=telemetry,
     )
 
 
@@ -352,28 +366,44 @@ class ProcessSweepExecutor(SweepExecutor):
 class ProgressReporter:
     """Formats :class:`ProgressEvent` streams into status/ETA lines.
 
+    Implemented on stdlib :mod:`logging`: each reporter owns a detached
+    ``Logger`` instance (never registered in the global logger tree, so
+    reporters cannot stack handlers on each other or on the ``repro``
+    logger) with a message-only ``StreamHandler`` on the given stream.
+
     Usable directly as the ``on_progress`` callback of any executor::
 
         executor.run(cells, runner, on_progress=ProgressReporter())
     """
 
     def __init__(
-        self, stream: Optional[TextIO] = None, report_started: bool = False
+        self,
+        stream: Optional[TextIO] = None,
+        report_started: bool = False,
+        level: int = logging.INFO,
     ) -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.report_started = report_started
+        logger = logging.Logger("repro.progress", level)
+        handler = logging.StreamHandler(self.stream)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        self.logger = logger
 
     def __call__(self, event: ProgressEvent) -> None:
         if event.kind == "started" and not self.report_started:
             return
         eta = f"{event.eta:.0f}s" if event.eta is not None else "?"
         status = "" if event.ok else "  ** FAILED **"
-        print(
-            f"  [{event.completed}/{event.total}] {event.kind:<9} "
-            f"{event.cell.describe():<40} elapsed={event.elapsed:.1f}s "
-            f"eta={eta}{status}",
-            file=self.stream,
-            flush=True,
+        self.logger.info(
+            "  [%d/%d] %-9s %-40s elapsed=%.1fs eta=%s%s",
+            event.completed,
+            event.total,
+            event.kind,
+            event.cell.describe(),
+            event.elapsed,
+            eta,
+            status,
         )
 
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import cProfile
 import io
+import os
 import pstats
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.engine.rng import RandomStreams
 from repro.errors import ConfigurationError
@@ -39,6 +40,7 @@ def capture_profile(
     fn: Callable[[], object],
     sort: str = "tottime",
     limit: int = 30,
+    dump_to: Union[str, os.PathLike, None] = None,
 ) -> tuple[object, str]:
     """Run ``fn`` under ``cProfile`` and return its result plus a report.
 
@@ -52,6 +54,10 @@ def capture_profile(
             ``run_fig13(config)`` call).
         sort: ``pstats`` sort key (``"tottime"``, ``"cumulative"``, ...).
         limit: Number of rows to include in the report.
+        dump_to: Optional path; when given, the raw ``pstats`` data is
+            also written there (loadable with ``pstats.Stats(path)`` or
+            snakeviz-style viewers).  The CLI's ``--profile PATH`` flag
+            lands here.
 
     Returns:
         ``(result, report)`` — whatever ``fn`` returned, and the formatted
@@ -63,6 +69,8 @@ def capture_profile(
         result = fn()
     finally:
         profiler.disable()
+    if dump_to is not None:
+        profiler.dump_stats(os.fspath(dump_to))
     buffer = io.StringIO()
     pstats.Stats(profiler, stream=buffer).sort_stats(sort).print_stats(limit)
     return result, buffer.getvalue()

@@ -15,6 +15,7 @@ same path.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence, Union
@@ -45,6 +46,9 @@ from repro.results.store import RunStore
 from repro.protocols.base import CCProtocol
 from repro.system.model import RTDBSystem
 from repro.system.resources import InfiniteResources, ResourceManager
+from repro.telemetry.bus import EventBus
+from repro.telemetry.counters import run_telemetry
+from repro.telemetry.tracer import JsonlTracer, Tracer
 from repro.workloads.generator import build_generator
 
 ProtocolFactory = Callable[[], CCProtocol]
@@ -128,7 +132,7 @@ def _default_resources(config: ExperimentConfig) -> ResourceManager:
     return InfiniteResources(cpu_time=config.cpu_time, io_time=config.io_time)
 
 
-def run_once(
+def run_instrumented(
     protocol_factory: ProtocolFactory,
     config: ExperimentConfig,
     arrival_rate: float,
@@ -136,8 +140,16 @@ def run_once(
     resources: Optional[ResourceFactory] = None,
     engine: Optional[str] = None,
     tensors: Optional[WorkloadTensors] = None,
-) -> RunSummary:
-    """Run one complete simulation and return its summary.
+    tracer: Optional[Tracer] = None,
+) -> tuple[RunSummary, dict]:
+    """Run one complete simulation; return its summary and telemetry block.
+
+    The telemetry block (see
+    :func:`~repro.telemetry.counters.run_telemetry`) carries the run's
+    lifecycle counters (arrivals/commits/aborts/restarts/shadow forks and
+    prunes/deadline misses), gauges (peak live shadows, peak pending
+    events), events fired, and host wall-clock seconds.  It is what
+    ``run_sweep`` stores on :class:`~repro.results.record.RunRecord`.
 
     Args:
         protocol_factory: Zero-arg factory producing the protocol.
@@ -152,6 +164,9 @@ def run_once(
             engine (must match ``(config, arrival_rate, replication)``);
             computed on the fly when omitted.  Ignored by the object
             engine.
+        tracer: Optional :class:`~repro.telemetry.tracer.Tracer` sink
+            receiving typed lifecycle events.  ``None`` disables tracing
+            (the zero-cost default).  Tracing never affects results.
 
     Raises:
         InvariantViolation: If the committed history is not serializable
@@ -166,7 +181,9 @@ def run_once(
         metrics=MetricsCollector(warmup_commits=config.warmup_commits),
         record_history=config.check_serializability,
         engine=engine,
+        tracer=tracer,
     )
+    started = time.perf_counter()
     if engine == "array":
         if tensors is None:
             streams = RandomStreams(config.seed).spawn(replication)
@@ -177,13 +194,42 @@ def run_once(
         generator = build_generator(config, arrival_rate, streams)
         system.load_workload(generator.generate(config.num_transactions))
     system.run()
+    wall_clock = time.perf_counter() - started
     if config.check_serializability and system.history is not None:
         if not check_serializable(system.history):
             raise InvariantViolation(
                 f"{system.protocol.name} produced a non-serializable history "
                 f"at rate {arrival_rate}"
             )
-    return system.metrics.summary()
+    return system.metrics.summary(), run_telemetry(system, wall_clock)
+
+
+def run_once(
+    protocol_factory: ProtocolFactory,
+    config: ExperimentConfig,
+    arrival_rate: float,
+    replication: int = 0,
+    resources: Optional[ResourceFactory] = None,
+    engine: Optional[str] = None,
+    tensors: Optional[WorkloadTensors] = None,
+    tracer: Optional[Tracer] = None,
+) -> RunSummary:
+    """Run one complete simulation and return its summary.
+
+    A thin wrapper over :func:`run_instrumented` that discards the
+    telemetry block; see it for the argument reference.
+    """
+    summary, _ = run_instrumented(
+        protocol_factory,
+        config,
+        arrival_rate,
+        replication=replication,
+        resources=resources,
+        engine=engine,
+        tensors=tensors,
+        tracer=tracer,
+    )
+    return summary
 
 
 @dataclass
@@ -290,6 +336,8 @@ def run_sweep(
     store: Union[RunStore, str, os.PathLike, None] = None,
     scenario: Optional[str] = None,
     engine: Optional[str] = None,
+    on_event: Optional[Callable] = None,
+    trace: Union[str, os.PathLike, None] = None,
 ) -> dict[str, SweepResult]:
     """Run every protocol over the arrival-rate sweep with replications.
 
@@ -343,6 +391,17 @@ def run_sweep(
             ``None`` means object).  Engines are bit-identical, so the
             choice is deliberately *not* part of the cell fingerprint —
             a store populated under one engine serves the other.
+        on_event: Optional subscriber for the unified sweep event stream
+            (:class:`~repro.telemetry.bus.SweepEvent`): ``cell_started``
+            and ``cell_completed`` progress ticks plus one
+            ``cell_outcome`` per materialized outcome (carrying the
+            summary dict and the run's telemetry block).  This is the
+            structured superset of ``progress``/``on_progress``.
+        trace: Optional path; when given, every cell's typed lifecycle
+            events are appended to this JSONL trace file, with a
+            ``cell_start`` marker line (and a lane-numbering reset)
+            between cells.  Requires the serial executor — a single
+            trace file cannot be shared across pool workers.
 
     Returns:
         name -> :class:`SweepResult`.
@@ -366,6 +425,20 @@ def run_sweep(
     names = list(factories)
     cells = build_cells(names, rates, config.replications)
 
+    tracer: Optional[JsonlTracer] = None
+    if trace is not None:
+        if not isinstance(chosen, SerialSweepExecutor):
+            raise ConfigurationError(
+                "run_sweep(trace=...) requires the serial executor: one "
+                "JSONL trace file cannot be shared across pool workers"
+            )
+        tracer = JsonlTracer(trace)
+
+    bus: Optional[EventBus] = None
+    if on_event is not None:
+        bus = EventBus()
+        bus.subscribe(on_event)
+
     # One tensor set per (rate, replication) cell, shared across every
     # protocol of that cell: the workload depends only on those
     # coordinates.  The cache lives in this closure, so the process
@@ -373,7 +446,7 @@ def run_sweep(
     # serial path reuses every entry.
     tensor_cache: dict[tuple[float, int], WorkloadTensors] = {}
 
-    def run_cell(cell: SweepCell) -> RunSummary:
+    def run_cell(cell: SweepCell) -> tuple[RunSummary, dict]:
         tensors = None
         if engine == "array":
             key = (cell.arrival_rate, cell.replication)
@@ -384,7 +457,20 @@ def run_sweep(
                     config, cell.arrival_rate, streams
                 )
                 tensor_cache[key] = tensors
-        return run_once(
+        if tracer is not None:
+            # One marker + a fresh lane numbering per cell, so each
+            # cell's event stream is self-contained and reproducible.
+            tracer.reset_lanes()
+            tracer.write_marker(
+                {
+                    "marker": "cell_start",
+                    "index": cell.index,
+                    "protocol": cell.protocol,
+                    "arrival_rate": cell.arrival_rate,
+                    "replication": cell.replication,
+                }
+            )
+        return run_instrumented(
             factories[cell.protocol],
             config,
             arrival_rate=cell.arrival_rate,
@@ -392,6 +478,7 @@ def run_sweep(
             resources=resources,
             engine=engine,
             tensors=tensors,
+            tracer=tracer,
         )
 
     # Legacy (name, rate, replication) progress: fire on "started" ticks
@@ -407,11 +494,30 @@ def run_sweep(
                      event.cell.replication)
         if on_progress is not None:
             on_progress(event)
+        if bus is not None:
+            bus.publish_progress(event)
 
-    callback = emit if (progress is not None or on_progress is not None) else None
+    callback = (
+        emit
+        if (progress is not None or on_progress is not None or bus is not None)
+        else None
+    )
 
     if store is None:
-        outcomes = chosen.run(cells, run_cell, on_progress=callback)
+        def outcome_hook(outcome: CellOutcome) -> None:
+            if bus is not None:
+                bus.publish_outcome(outcome)
+
+        try:
+            outcomes = chosen.run(
+                cells,
+                run_cell,
+                on_progress=callback,
+                on_outcome=outcome_hook if bus is not None else None,
+            )
+        finally:
+            if tracer is not None:
+                tracer.close()
         return assemble_results(names, rates, config.replications, outcomes)
 
     owns_store = not isinstance(store, RunStore)
@@ -433,10 +539,17 @@ def run_sweep(
         if record is not None:
             cached[cell.index] = CellOutcome(
                 cell=cell, summary=record.summary, error=None,
-                elapsed=record.elapsed,
+                elapsed=record.elapsed, telemetry=record.telemetry,
             )
         else:
             missing.append(cell)
+
+    if bus is not None:
+        # Cached cells never reach the executor; surface them on the bus
+        # up front so subscribers see the complete grid.
+        for cell in cells:
+            if cell.index in cached:
+                bus.publish_outcome(cached[cell.index], cached=True)
 
     def persist(outcome: CellOutcome) -> None:
         # Parent-side, per completed cell: each append is flushed + fsync'd
@@ -450,6 +563,8 @@ def run_sweep(
                     protocol_spec=spec_map[outcome.cell.protocol],
                 )
             )
+        if bus is not None:
+            bus.publish_outcome(outcome)
 
     fresh: dict[int, CellOutcome] = {}
     try:
@@ -459,6 +574,8 @@ def run_sweep(
             ):
                 fresh[outcome.cell.index] = outcome
     finally:
+        if tracer is not None:
+            tracer.close()
         if owns_store:
             # Release the append handle we opened; caller-supplied stores
             # manage their own lifecycle.

@@ -67,8 +67,12 @@ _SPEC_KEYS = frozenset(
         "workers",
         "store",
         "engine",
+        "telemetry",
     }
 )
+
+#: Keys an ``ExperimentSpec.telemetry`` block may carry.
+_TELEMETRY_KEYS = frozenset({"trace", "log_level"})
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,12 @@ class ExperimentSpec:
             execution policy, *not* of the experiment identity: engines
             are bit-identical, so the choice never enters the run-store
             fingerprint.
+        telemetry: Default observability policy — a dict with optional
+            ``"trace"`` (JSONL trace-file path) and ``"log_level"``
+            (:data:`~repro.telemetry.log.LOG_LEVELS` name) keys, or
+            ``None`` for no telemetry.  Like ``engine``, pure execution
+            policy: tracing never perturbs results, so the block never
+            enters the fingerprint.
     """
 
     protocols: tuple[ProtocolSpec, ...]
@@ -115,6 +125,7 @@ class ExperimentSpec:
     workers: Optional[int] = None
     store: Optional[str] = None
     engine: Optional[str] = None
+    telemetry: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None and self.engine not in ENGINE_NAMES:
@@ -122,6 +133,27 @@ class ExperimentSpec:
                 f"unknown engine {self.engine!r}; choose from "
                 f"{list(ENGINE_NAMES)}"
             )
+        if self.telemetry is not None:
+            if not isinstance(self.telemetry, dict):
+                raise ConfigurationError(
+                    f"spec telemetry must be a dict, "
+                    f"got {type(self.telemetry).__name__}"
+                )
+            unknown = set(self.telemetry) - _TELEMETRY_KEYS
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown telemetry keys: {sorted(unknown)} "
+                    f"(choose from {sorted(_TELEMETRY_KEYS)})"
+                )
+            level = self.telemetry.get("log_level")
+            if level is not None:
+                from repro.telemetry.log import LOG_LEVELS
+
+                if level not in LOG_LEVELS:
+                    raise ConfigurationError(
+                        f"unknown telemetry log_level {level!r}; choose "
+                        f"from {list(LOG_LEVELS)}"
+                    )
         if not self.protocols:
             raise ConfigurationError(
                 "experiment spec needs at least one protocol"
@@ -201,6 +233,7 @@ class ExperimentSpec:
             "workers": self.workers,
             "store": self.store,
             "engine": self.engine,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -259,6 +292,7 @@ class ExperimentSpec:
             workers=data.get("workers"),
             store=data.get("store"),
             engine=data.get("engine"),
+            telemetry=data.get("telemetry"),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -347,18 +381,23 @@ class ExperimentSpec:
         on_progress=None,
         config: Optional[ExperimentConfig] = None,
         engine: Optional[str] = None,
+        trace: "str | os.PathLike | None" = None,
+        on_event=None,
         **config_overrides: Any,
     ) -> dict[str, SweepResult]:
         """Execute the experiment through the sweep runner.
 
         Keyword arguments override the spec's own execution policy
-        (``executor``/``workers``/``store``/``engine``) for this
-        invocation only;
+        (``executor``/``workers``/``store``/``engine``/``telemetry``)
+        for this invocation only;
         ``config_overrides`` pass to :meth:`to_config` (e.g.
         ``num_transactions=200`` for a smoke run).  A caller that
         already built the config (to print status from it, say) can pass
         it via ``config`` and skip the rebuild — it must come from
-        :meth:`to_config` of this same spec.
+        :meth:`to_config` of this same spec.  ``trace`` falls back to
+        the spec's ``telemetry["trace"]``; ``on_event`` subscribes to
+        the sweep's structured event stream (see
+        :class:`~repro.telemetry.bus.EventBus`).
 
         Returns:
             label -> :class:`~repro.experiments.runner.SweepResult`,
@@ -367,6 +406,8 @@ class ExperimentSpec:
         """
         if config is None:
             config = self.to_config(**config_overrides)
+        if trace is None:
+            trace = (self.telemetry or {}).get("trace")
         return run_sweep(
             self.protocol_mapping(),
             config,
@@ -378,6 +419,8 @@ class ExperimentSpec:
             progress=progress,
             on_progress=on_progress,
             scenario=self.scenario_name(),
+            trace=trace,
+            on_event=on_event,
         )
 
 
@@ -467,6 +510,7 @@ class Experiment:
             "workers",
             "store",
             "engine",
+            "telemetry",
         ):
             value = getattr(spec, name)
             if value is not None:
@@ -557,6 +601,28 @@ class Experiment:
     def engine(self, name: str) -> "Experiment":
         """Set the simulation engine (``"object"`` / ``"array"``)."""
         self._fields["engine"] = name
+        return self
+
+    def telemetry(
+        self,
+        trace: "str | os.PathLike | None" = None,
+        log_level: Optional[str] = None,
+    ) -> "Experiment":
+        """Set the default observability policy.
+
+        Args:
+            trace: JSONL trace-file path; sweeps run via this spec emit
+                the typed lifecycle event stream there (serial executor
+                only).
+            log_level: Default ``repro`` logger level for CLI runs of
+                this spec (``debug``/``info``/``warning``/``error``).
+        """
+        block = dict(self._fields.get("telemetry") or {})
+        if trace is not None:
+            block["trace"] = os.fspath(trace)
+        if log_level is not None:
+            block["log_level"] = log_level
+        self._fields["telemetry"] = block or None
         return self
 
     # -- terminal operations -------------------------------------------

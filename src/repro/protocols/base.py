@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.engine.kernels import ReadRecord, record_access
 from repro.errors import InvariantViolation, ProtocolError
+from repro.telemetry.events import execution_mode
 from repro.txn.spec import Step, TransactionSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -198,6 +199,7 @@ class CCProtocol(ABC):
         # Hot-path caches; refreshed (with the resource handles) by bind().
         self._resources = None
         self._step_time = 0.0
+        self._tracer = None
         self._cache_hook_handles()
 
     def _cache_hook_handles(self) -> None:
@@ -233,6 +235,10 @@ class CCProtocol(ABC):
         self.system = system
         self._resources = system.resources
         self._step_time = system.resources.step_service_time
+        # The disabled-telemetry contract: tracing costs one attribute
+        # load plus an identity test per potential event when no tracer
+        # is installed.
+        self._tracer = getattr(system, "tracer", None)
         self._cache_hook_handles()
 
     def _require_system(self) -> "RTDBSystem":
@@ -324,6 +330,16 @@ class CCProtocol(ABC):
             raise ProtocolError(f"cannot block non-running execution {execution!r}")
         execution.state = ExecutionState.BLOCKED
         execution.epoch += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "block",
+                self.system.sim.now,
+                execution.txn.txn_id,
+                serial=execution.serial,
+                mode=execution_mode(execution),
+                pos=execution.pos,
+            )
 
     def _kill(self, execution: Execution) -> None:
         """Abort an execution, releasing any pending service callback."""
@@ -344,6 +360,16 @@ class CCProtocol(ABC):
         if pos >= execution.num_steps:
             execution.state = ExecutionState.FINISHED
             execution.epoch += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(
+                    "txn_finish",
+                    system.sim.now,
+                    execution.txn.txn_id,
+                    serial=execution.serial,
+                    mode=execution_mode(execution),
+                    pos=pos,
+                )
             self._on_finished(execution)
             return
         step = execution.txn.steps[pos]
@@ -389,6 +415,17 @@ class CCProtocol(ABC):
             execution.writeset[page] = pos
         execution.pos = pos + 1
         execution.work += self._step_time
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "step_complete",
+                now,
+                execution.txn.txn_id,
+                serial=execution.serial,
+                mode=execution_mode(execution),
+                pos=pos,
+                data={"page": page, "write": step.is_write},
+            )
         self._after_step(execution, step)
         if execution.state is ExecutionState.RUNNING:
             self._advance(execution)

@@ -38,7 +38,14 @@ __all__ = ["RECORD_SCHEMA", "RunRecord"]
 #:   (as ``protocol_spec=None``) so old stores stay listable/exportable,
 #:   but spec-driven sweeps fingerprint protocols by their full spec, so
 #:   cells recorded before the bump are re-run rather than reused.
-RECORD_SCHEMA = 2
+#: * **3** — adds ``telemetry``, the run's counter/gauge block
+#:   (:func:`~repro.telemetry.counters.run_telemetry`: lifecycle
+#:   counters, peak gauges, events fired, wall-clock), or ``None`` when
+#:   the producing runner predates telemetry.  Schema-1/2 records are
+#:   still read (as ``telemetry=None``); the telemetry block is pure
+#:   metadata — never part of the fingerprint — so old cached cells
+#:   keep being served.
+RECORD_SCHEMA = 3
 
 _COMMON_KEYS = frozenset(
     {
@@ -59,6 +66,7 @@ _COMMON_KEYS = frozenset(
 _KEYS_BY_SCHEMA = {
     1: _COMMON_KEYS,
     2: _COMMON_KEYS | {"protocol_spec"},
+    3: _COMMON_KEYS | {"protocol_spec", "telemetry"},
 }
 
 
@@ -84,6 +92,10 @@ class RunRecord:
             (:meth:`~repro.protocols.registry.ProtocolSpec.to_dict`
             form), or ``None`` for legacy name-keyed sweeps and
             schema-1 records.
+        telemetry: The run's counter/gauge telemetry block
+            (:func:`~repro.telemetry.counters.run_telemetry`), or
+            ``None`` for pre-telemetry records and cached schema-1/2
+            cells.  Metadata only — never fingerprinted.
     """
 
     fingerprint: str
@@ -96,6 +108,7 @@ class RunRecord:
     scenario: Optional[str] = None
     elapsed: float = 0.0
     protocol_spec: Optional[dict] = None
+    telemetry: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """Canonical plain-dict form, invertible by :meth:`from_dict`."""
@@ -111,6 +124,7 @@ class RunRecord:
             "seed": self.seed,
             "elapsed": self.elapsed,
             "summary": self.summary.to_dict(),
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -156,6 +170,7 @@ class RunRecord:
             scenario=payload["scenario"],
             elapsed=payload["elapsed"],
             protocol_spec=payload.get("protocol_spec"),
+            telemetry=payload.get("telemetry"),
         )
 
     @classmethod
@@ -213,4 +228,5 @@ class RunRecord:
                 if hasattr(protocol_spec, "to_dict")
                 else protocol_spec
             ),
+            telemetry=getattr(outcome, "telemetry", None),
         )

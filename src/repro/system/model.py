@@ -24,6 +24,9 @@ from repro.errors import InvariantViolation, ProtocolError
 from repro.metrics.stats import MetricsCollector
 from repro.protocols.base import CCProtocol, Execution
 from repro.system.resources import InfiniteResources, ResourceManager
+from repro.telemetry.counters import CounterRegistry
+from repro.telemetry.events import execution_mode
+from repro.telemetry.tracer import Tracer
 from repro.txn.spec import TransactionSpec
 
 # Arrivals fire after same-instant commit processing (commits use priority
@@ -46,6 +49,11 @@ class RTDBSystem:
             :func:`~repro.engine.array.build_simulator`); ``None`` means
             the reference object engine.  Results are bit-identical
             across engines.
+        tracer: Optional :class:`~repro.telemetry.tracer.Tracer` sink for
+            typed lifecycle events.  ``None`` (the default) disables
+            tracing entirely; instrumented code then pays one attribute
+            load per potential event.  Tracing never draws RNG and never
+            perturbs event order, so results are identical either way.
     """
 
     def __init__(
@@ -56,8 +64,14 @@ class RTDBSystem:
         metrics: Optional[MetricsCollector] = None,
         record_history: bool = True,
         engine: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = build_simulator(engine)
+        self.tracer = tracer
+        self.counters = CounterRegistry()
+        # Ask the engine to track peak pending-event depth (a cheap
+        # integer compare per fired event) for the telemetry block.
+        self.sim.metered = True
         self.db = Database(num_pages)
         self.resources = resources or InfiniteResources(cpu_time=0.001, io_time=0.005)
         self.resources.bind(self.sim)
@@ -108,6 +122,19 @@ class RTDBSystem:
         if spec.txn_id in self._active or spec.txn_id in self._committed_ids:
             raise ProtocolError(f"duplicate arrival of T{spec.txn_id}")
         self._active[spec.txn_id] = spec
+        self.counters.incr("arrivals")
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn_start",
+                self.sim.now,
+                spec.txn_id,
+                data={
+                    "deadline": spec.deadline,
+                    "steps": len(spec.steps),
+                    "class": spec.txn_class.name,
+                },
+            )
         self.protocol.on_arrival(spec)
 
     # ------------------------------------------------------------------
@@ -146,17 +173,56 @@ class RTDBSystem:
         if self.history is not None:
             writes = {page: db_version(page) for page in execution.writeset}
             self.history.record(txn_id, self.sim.now, reads, writes)
-        self.metrics.record_commit(txn, self.sim.now, execution.work)
+        now = self.sim.now
+        self.metrics.record_commit(txn, now, execution.work)
         self._committed_ids.add(txn_id)
         del self._active[txn_id]
+        counters = self.counters
+        counters.incr("commits")
+        missed = now > txn.deadline
+        if missed:
+            counters.incr("deadline_misses")
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "commit",
+                now,
+                txn_id,
+                serial=execution.serial,
+                mode=execution_mode(execution),
+                pos=execution.pos,
+            )
+            if missed:
+                tracer.emit(
+                    "deadline_miss",
+                    now,
+                    txn_id,
+                    data={"tardiness": now - txn.deadline},
+                )
 
     def record_execution_abort(self, execution: Execution) -> None:
         """Account an aborted execution's service time as wasted work."""
         self.metrics.record_shadow_abort(execution.work)
+        self.counters.incr("aborts")
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "abort",
+                self.sim.now,
+                execution.txn.txn_id,
+                serial=execution.serial,
+                mode=execution_mode(execution),
+                pos=execution.pos,
+                data={"work": execution.work},
+            )
 
     def record_restart(self, txn: TransactionSpec) -> None:
         """Account a full transaction restart."""
         self.metrics.record_restart(txn)
+        self.counters.incr("restarts")
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("restart", self.sim.now, txn.txn_id)
 
     # ------------------------------------------------------------------
     # run control

@@ -1,0 +1,122 @@
+"""The unified sweep event bus: one structured ``on_event`` stream.
+
+:func:`~repro.experiments.runner.run_sweep` historically exposed two
+ad-hoc callbacks (``on_progress`` for :class:`ProgressEvent` ticks, the
+store's outcome hook for persistence).  The bus unifies them: every
+lifecycle moment of a sweep — a cell starting, completing, or yielding
+its outcome (with the run's ``telemetry`` block) — is published as one
+:class:`SweepEvent` whose payload is plain JSON-ready data.  This is the
+exact stream a future experiment gateway serializes to clients; today
+the CLI and tests subscribe to it via ``run_sweep(on_event=...)``.
+
+Subscribers must not raise (an exception would abort the sweep) and must
+not mutate payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List
+
+if TYPE_CHECKING:  # import-light: only for annotations
+    from repro.experiments.parallel import CellOutcome, ProgressEvent, SweepCell
+
+__all__ = ["SWEEP_EVENT_KINDS", "EventBus", "SweepEvent"]
+
+#: The sweep-level event taxonomy published by :class:`EventBus`.
+SWEEP_EVENT_KINDS = ("cell_started", "cell_completed", "cell_outcome")
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One structured sweep lifecycle event.
+
+    Attributes
+    ----------
+    kind : str
+        One of :data:`SWEEP_EVENT_KINDS`.
+    payload : dict
+        JSON-ready event body (cell coordinates plus kind-specific
+        fields; see the ``publish_*`` methods for shapes).
+    """
+
+    kind: str
+    payload: Dict[str, Any]
+
+    def to_dict(self) -> dict:
+        """The event as one JSON-ready dict (``kind`` + payload fields)."""
+        return {"kind": self.kind, **self.payload}
+
+
+def _cell_payload(cell: "SweepCell") -> Dict[str, Any]:
+    """JSON-ready coordinates of one sweep cell."""
+    return {
+        "index": cell.index,
+        "protocol": cell.protocol,
+        "rate_index": cell.rate_index,
+        "arrival_rate": cell.arrival_rate,
+        "replication": cell.replication,
+    }
+
+
+class EventBus:
+    """Fan sweep events out to subscribers, adapting the legacy callbacks.
+
+    ``run_sweep`` builds one bus per sweep when ``on_event`` is given and
+    routes its existing progress/outcome hooks through
+    :meth:`publish_progress` / :meth:`publish_outcome`.
+    """
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[SweepEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[SweepEvent], None]) -> None:
+        """Register a subscriber invoked synchronously on every event."""
+        self._subscribers.append(callback)
+
+    def publish(self, event: SweepEvent) -> None:
+        """Deliver one event to every subscriber, in subscription order."""
+        for callback in self._subscribers:
+            callback(event)
+
+    def publish_progress(self, event: "ProgressEvent") -> None:
+        """Adapt one :class:`ProgressEvent` tick into a bus event.
+
+        ``started`` ticks become ``cell_started``, ``completed`` ticks
+        ``cell_completed`` (payload adds progress counters, elapsed,
+        eta, and the ok flag).
+        """
+        payload = {
+            "cell": _cell_payload(event.cell),
+            "completed": event.completed,
+            "total": event.total,
+            "elapsed": event.elapsed,
+            "eta": event.eta,
+            "ok": event.ok,
+        }
+        kind = "cell_started" if event.kind == "started" else "cell_completed"
+        self.publish(SweepEvent(kind=kind, payload=payload))
+
+    def publish_outcome(self, outcome: "CellOutcome", cached: bool = False) -> None:
+        """Adapt one materialized :class:`CellOutcome` into a bus event.
+
+        The payload carries the summary dict, the run's ``telemetry``
+        block, error details for crashed cells, and whether the outcome
+        was served from the run-record store (``cached``).
+        """
+        payload: Dict[str, Any] = {
+            "cell": _cell_payload(outcome.cell),
+            "ok": outcome.ok,
+            "elapsed": outcome.elapsed,
+            "cached": cached,
+            "summary": outcome.summary.to_dict() if outcome.summary else None,
+            "telemetry": outcome.telemetry,
+        }
+        if outcome.error is not None:
+            payload["error"] = {
+                "type": outcome.error.exc_type,
+                "message": outcome.error.message,
+            }
+        self.publish(SweepEvent(kind="cell_outcome", payload=payload))

@@ -1,0 +1,84 @@
+"""The ``repro`` stdlib logger and its one-call configuration.
+
+Library code logs through :func:`get_logger` (children of the ``repro``
+logger) and never configures handlers itself; entry points — the CLI,
+scripts — call :func:`configure_logging` once.  Reconfiguration is
+idempotent: the handler installed here is tagged, and a second call
+replaces it instead of stacking duplicates, so tests can flip levels and
+streams freely.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["LOG_LEVELS", "configure_logging", "get_logger"]
+
+#: CLI-facing level names accepted by :func:`configure_logging`.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_ROOT_NAME = "repro"
+_HANDLER_TAG = "_repro_configured"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or a dotted child of it.
+
+    Parameters
+    ----------
+    name : str, optional
+        Child suffix (``"experiments.cli"`` → ``repro.experiments.cli``);
+        omit for the root ``repro`` logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(
+    level: str = "info",
+    stream: Optional[IO[str]] = None,
+    quiet: bool = False,
+) -> logging.Logger:
+    """Install (or replace) the ``repro`` logger's single stream handler.
+
+    Parameters
+    ----------
+    level : str
+        One of :data:`LOG_LEVELS` (case-insensitive).
+    stream : IO, optional
+        Target stream; defaults to ``sys.stderr``.
+    quiet : bool
+        Suppress everything below ``error`` regardless of ``level``.
+
+    Returns
+    -------
+    logging.Logger
+        The configured ``repro`` logger.
+
+    Raises
+    ------
+    ValueError
+        On an unknown level name.
+    """
+    name = level.lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {list(LOG_LEVELS)}"
+        )
+    if quiet:
+        name = "error"
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, name.upper()))
+    logger.propagate = False
+    return logger

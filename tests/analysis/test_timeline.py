@@ -112,3 +112,110 @@ def test_observer_disabled_costs_nothing():
     system.load_workload(specs)
     system.run()
     assert commit_time_of(system, 1) == commit_time_of(traced, 1)
+
+
+# ----------------------------------------------------------------------
+# structured rows and trace-file ingestion
+# ----------------------------------------------------------------------
+
+
+def run_fig2b_traced():
+    """The Figure 2(b) scenario again, observed through the tracer."""
+    from repro.metrics.stats import MetricsCollector
+    from repro.system.model import RTDBSystem
+    from repro.system.resources import InfiniteResources
+    from repro.telemetry.tracer import MemoryTracer
+
+    protocol = SCC2S()
+    specs = fixed_workload(
+        programs=[
+            [W(0), R(1), R(2)],
+            [R(3), R(0), R(4), R(5)],
+        ],
+        arrivals=[0.0, 0.0],
+        txn_class=make_class(num_steps=4),
+        step_duration=1.0,
+    )
+    tracer = MemoryTracer()
+    # The tracer must be there at construction: protocols cache it at
+    # bind time (the zero-cost-when-disabled contract).
+    system = RTDBSystem(
+        protocol=protocol,
+        num_pages=16,
+        resources=InfiniteResources(cpu_time=1.0, io_time=0.0),
+        metrics=MetricsCollector(),
+        record_history=True,
+        tracer=tracer,
+    )
+    system.load_workload(specs)
+    system.run()
+    return tracer
+
+
+def test_rows_mirror_render():
+    recorder = TimelineRecorder()
+    run_fig2b(recorder)
+    rows = recorder.rows(width=40)
+    art = recorder.render(width=40)
+    assert len(rows) == 3
+    # Every label and painted track appears verbatim in the rendering.
+    for row in rows:
+        assert row.label in art
+        assert row.track in art
+    promoted = [row for row in rows if row.promoted]
+    assert len(promoted) == 1
+    assert promoted[0].mode == "speculative"
+
+
+def test_rows_empty_without_events_and_validates_width():
+    recorder = TimelineRecorder()
+    assert recorder.rows() == []
+    run_fig2b(recorder)
+    with pytest.raises(ConfigurationError):
+        recorder.rows(width=4)
+
+
+def test_from_trace_matches_live_observer_timeline():
+    live = TimelineRecorder()
+    run_fig2b(live)
+    tracer = run_fig2b_traced()
+    replayed = TimelineRecorder.from_trace(tracer.events)
+    # Same lanes, same per-lane shadow lifecycle, same rendering.
+    live_kinds = {
+        lane: [e.kind for e in live.events_for(lane)]
+        for lane in (0, 1)
+    }
+    replay_kinds = {
+        lane: [e.kind for e in replayed.events_for(lane)]
+        for lane in (0, 1)
+    }
+    assert replay_kinds == live_kinds
+    # Identical layout lane by lane.  Labels differ only in the lane id:
+    # the live observer shows process-global shadow serials, the trace
+    # shows run-local lanes (the tracer's normalization).
+    live_rows = live.rows(width=40)
+    replay_rows = replayed.rows(width=40)
+    assert [
+        (r.txn_id, r.mode, r.promoted, r.track) for r in replay_rows
+    ] == [
+        (r.txn_id, r.mode, r.promoted, r.track) for r in live_rows
+    ]
+    assert [r.serial for r in replay_rows] == [0, 1, 2]
+
+
+def test_from_trace_handles_plain_execution_lanes():
+    from repro.telemetry.events import TraceEvent
+
+    events = [
+        TraceEvent(time=0.0, kind="step_complete", txn=0, lane=0, pos=1,
+                   data={"page": 3, "write": False}),
+        TraceEvent(time=1.0, kind="block", txn=0, lane=0, pos=1),
+        TraceEvent(time=2.0, kind="txn_finish", txn=0, lane=0, pos=2),
+        TraceEvent(time=2.0, kind="commit", txn=0, lane=0, pos=2),
+        TraceEvent(time=2.5, kind="restart", txn=1),  # no lane: skipped
+    ]
+    recorder = TimelineRecorder.from_trace(events)
+    rows = recorder.rows(width=24)
+    assert len(rows) == 1
+    assert rows[0].mode == "execution"
+    assert "exec" in rows[0].label

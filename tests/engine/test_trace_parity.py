@@ -1,0 +1,90 @@
+"""Object-vs-array engine parity of the telemetry streams.
+
+The acceptance criterion for the tracing subsystem: both engines emit the
+*identical* typed event stream — same kinds, same simulated times, same
+lane numbering, same payloads — because the emission points live in
+shared protocol/system code and the engines fire callbacks in the same
+total order.  The suite also pins the counter registry and the golden
+determinism invariant (tracing must not perturb results).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import run_instrumented, run_once
+from repro.protocols.registry import protocol_spec
+from repro.telemetry.tracer import MemoryTracer, NullTracer
+from repro.workloads.scenarios import get_scenario
+
+SCALE = dict(
+    num_transactions=100,
+    warmup_commits=10,
+    replications=1,
+    check_serializability=False,
+)
+
+SCENARIOS = ("paper-baseline", "flash-sale-hotspot")
+PROTOCOLS = ("scc-2s", "scc-vw", "2pl-pa")
+
+
+def traced_run(scenario, protocol, engine, rate=120.0):
+    config = get_scenario(scenario).to_config(**SCALE)
+    tracer = MemoryTracer()
+    summary, telemetry = run_instrumented(
+        protocol_spec(protocol), config, arrival_rate=rate,
+        engine=engine, tracer=tracer,
+    )
+    return summary, telemetry, tracer
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_trace_streams_bit_identical_across_engines(scenario, protocol):
+    runs = [traced_run(scenario, protocol, engine)
+            for engine in ("object", "array")]
+    (obj_summary, obj_tel, obj_tracer), (arr_summary, arr_tel, arr_tracer) = runs
+    assert obj_tracer.dicts() == arr_tracer.dicts()
+    assert obj_tracer.events  # the parity must not be vacuous
+    assert obj_summary == arr_summary
+    # Counters derive from the same emission points, so they must agree;
+    # wall_clock is host time and events_fired/peak depth are engine
+    # mechanics, so only the lifecycle portion is parity-gated.
+    assert obj_tel["counters"] == arr_tel["counters"]
+    assert obj_tel["gauges"] == arr_tel["gauges"]
+
+
+@pytest.mark.parametrize("protocol", ("scc-2s", "scc-vw"))
+def test_scc_traces_cover_the_speculation_machinery(protocol):
+    _, _, tracer = traced_run("flash-sale-hotspot", protocol, "object")
+    kinds = {event.kind for event in tracer.events}
+    assert {"txn_start", "step_complete", "commit", "shadow_fork"} <= kinds
+    forks = [e for e in tracer.events if e.kind == "shadow_fork"]
+    assert all(e.data.get("origin") in ("spawn", "restart") for e in forks)
+
+
+def test_lanes_are_run_local_and_zero_based():
+    _, _, first = traced_run("paper-baseline", "scc-2s", "object")
+    _, _, second = traced_run("paper-baseline", "scc-2s", "object")
+    # Execution serials are process-global and keep counting between the
+    # two runs; lane normalization must hide that entirely.
+    assert first.dicts() == second.dicts()
+    lanes = sorted({e.lane for e in first.events if e.lane is not None})
+    assert lanes[0] == 0
+    assert lanes == list(range(len(lanes)))
+
+
+@pytest.mark.parametrize("engine", ("object", "array"))
+def test_tracing_never_perturbs_results(engine):
+    config = get_scenario("paper-baseline").to_config(**SCALE)
+    spec = protocol_spec("scc-2s")
+    plain = run_once(spec, config, arrival_rate=140.0, engine=engine)
+    with_null = run_once(
+        spec, config, arrival_rate=140.0, engine=engine, tracer=NullTracer(),
+    )
+    traced_summary, _, _ = traced_run(
+        "paper-baseline", "scc-2s", engine, rate=140.0,
+    )
+    assert dataclasses.asdict(plain) == dataclasses.asdict(with_null)
+    # traced_run uses rate=140 here to compare against the same cell.
+    assert dataclasses.asdict(plain) == dataclasses.asdict(traced_summary)

@@ -106,3 +106,16 @@ class TestCaptureProfile:
 
         with pytest.raises(ValueError):
             capture_profile(boom)
+
+    def test_dump_to_writes_loadable_pstats(self, tmp_path):
+        import pstats
+
+        from repro.experiments.profiling import capture_profile
+
+        dump = tmp_path / "profile.pstats"
+        result, report = capture_profile(
+            lambda: sum(range(1000)), dump_to=dump
+        )
+        assert result == sum(range(1000))
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0

@@ -57,7 +57,9 @@ def golden_protocols() -> dict:
     }
 
 
-def compute_golden_payload(engine: Optional[str] = None) -> dict:
+def compute_golden_payload(
+    engine: Optional[str] = None, trace=None
+) -> dict:
     """Run the golden sweeps and return the JSON-serializable payload.
 
     Parameters
@@ -65,6 +67,11 @@ def compute_golden_payload(engine: Optional[str] = None) -> dict:
     engine : str, optional
         Simulation engine to run under (``"object"``/``"array"``); the
         payload must be identical regardless.
+    trace : str or os.PathLike, optional
+        JSONL trace-file path; when given, the sweeps run fully traced.
+        The payload must also be identical regardless — tracing draws no
+        randomness and perturbs no event order, and the telemetry
+        regression test holds the gate on exactly that.
     """
     scenarios_out = {}
     for name in SCENARIOS:
@@ -75,7 +82,9 @@ def compute_golden_payload(engine: Optional[str] = None) -> dict:
             replications=REPLICATIONS,
             arrival_rates=ARRIVAL_RATES,
         )
-        results = run_sweep(golden_protocols(), config, engine=engine)
+        results = run_sweep(
+            golden_protocols(), config, engine=engine, trace=trace
+        )
         summaries = {
             protocol: [
                 [dataclasses.asdict(summary) for summary in per_rate]

@@ -1,0 +1,73 @@
+"""Golden determinism gate with tracing enabled.
+
+The telemetry contract: tracing is pure observation.  It draws no
+randomness, perturbs no event order, and changes no metric.  This module
+holds that promise against the committed golden reference — the *same*
+``golden_reference.json`` the untraced gates compare against — by
+recomputing the payload with a JSONL trace attached and demanding
+bit-identical metrics.
+
+A failure here with the untraced gates green means an emission hook leaks
+into simulation semantics (e.g. a tracer call that consumes RNG or
+reorders a heap tie); that is a telemetry bug, never a reason to refresh
+the reference.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.events import TraceEvent, is_marker, iter_trace
+from tests.golden.golden_common import GOLDEN_PATH, compute_golden_payload
+
+
+@pytest.fixture(scope="module")
+def reference() -> dict:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory) -> tuple[dict, object]:
+    trace_path = tmp_path_factory.mktemp("golden-trace") / "golden.jsonl"
+    payload = json.loads(json.dumps(compute_golden_payload(trace=trace_path)))
+    return payload, trace_path
+
+
+def test_traced_golden_metrics_bit_identical(reference, traced):
+    """Tracing must not move a single metric off the committed reference."""
+    current, _ = traced
+    assert current["scale"] == reference["scale"]
+    for scenario, ref_block in reference["scenarios"].items():
+        cur_block = current["scenarios"][scenario]
+        assert set(cur_block["summaries"]) == set(ref_block["summaries"])
+        for protocol, ref_sweep in ref_block["summaries"].items():
+            cur_sweep = cur_block["summaries"][protocol]
+            for ref_rate, cur_rate in zip(ref_sweep, cur_sweep, strict=True):
+                for ref_summary, cur_summary in zip(
+                    ref_rate, cur_rate, strict=True
+                ):
+                    assert cur_summary == ref_summary, (scenario, protocol)
+
+
+def test_traced_golden_run_leaves_a_valid_trace(traced):
+    """The trace the gate produced must itself be well-formed."""
+    _, trace_path = traced
+    markers = events = 0
+    kinds = set()
+    for payload in iter_trace(trace_path):
+        if is_marker(payload):
+            markers += 1
+            assert payload["marker"] == "cell_start"
+        else:
+            event = TraceEvent.from_dict(payload)  # validates the schema
+            events += 1
+            kinds.add(event.kind)
+    # golden_common reuses one path for both scenarios (mode "w" per
+    # sweep), so the surviving file holds the *last* scenario's sweep:
+    # one marker per (protocol, rate, replication) cell.
+    assert markers == 10
+    assert events > 0
+    assert {"txn_start", "commit", "shadow_fork"} <= kinds

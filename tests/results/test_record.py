@@ -81,20 +81,73 @@ def test_record_from_dict_rejects_other_schema_versions():
 
 def test_schema_1_records_still_read():
     # Migration path: stores written before the protocol-spec bump stay
-    # listable/exportable; the missing field reads as None.
+    # listable/exportable; the missing fields read as None.
     payload = make_record().to_dict()
     payload["schema"] = 1
     del payload["protocol_spec"]
+    del payload["telemetry"]
     record = RunRecord.from_dict(payload)
     assert record.protocol == "SCC-2S"
     assert record.protocol_spec is None
+    assert record.telemetry is None
+
+
+def test_schema_2_records_still_read():
+    # Pre-telemetry stores: the missing telemetry block reads as None.
+    payload = make_record().to_dict()
+    payload["schema"] = 2
+    del payload["telemetry"]
+    record = RunRecord.from_dict(payload)
+    assert record.protocol == "SCC-2S"
+    assert record.telemetry is None
 
 
 def test_schema_1_payload_with_spec_key_rejected():
     payload = make_record().to_dict()
-    payload["schema"] = 1  # claims v1 but carries a v2 key
+    payload["schema"] = 1  # claims v1 but carries v2/v3 keys
+    del payload["telemetry"]
     with pytest.raises(ConfigurationError, match="protocol_spec"):
         RunRecord.from_dict(payload)
+
+
+def test_schema_2_payload_with_telemetry_key_rejected():
+    payload = make_record().to_dict()
+    payload["schema"] = 2  # claims v2 but carries the v3 key
+    with pytest.raises(ConfigurationError, match="telemetry"):
+        RunRecord.from_dict(payload)
+
+
+def test_telemetry_block_round_trips():
+    telemetry = {
+        "schema": 1,
+        "wall_clock": 0.25,
+        "events_fired": 1234,
+        "peak_pending_events": 56,
+        "counters": {"aborts": 3, "commits": 100},
+        "gauges": {"peak_live_shadows": 7},
+    }
+    record = make_record(telemetry=telemetry)
+    rebuilt = RunRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+    assert rebuilt == record
+    assert rebuilt.telemetry == telemetry
+
+
+def test_from_outcome_carries_telemetry():
+    from repro.experiments.config import baseline_config
+    from repro.experiments.parallel import CellOutcome, SweepCell
+
+    config = baseline_config()
+    cell = SweepCell(
+        index=0, protocol="SCC-2S", rate_index=0, arrival_rate=50.0,
+        replication=0,
+    )
+    telemetry = {"schema": 1, "counters": {"commits": 1}, "gauges": {}}
+    outcome = CellOutcome(
+        cell=cell, summary=make_summary(), error=None, elapsed=0.5,
+        telemetry=telemetry,
+    )
+    record = RunRecord.from_outcome(config, outcome)
+    assert record.telemetry == telemetry
 
 
 def test_protocol_spec_round_trips():

@@ -1,0 +1,110 @@
+"""Tests for the unified sweep event bus."""
+
+import json
+
+from repro.experiments.parallel import (
+    CellError,
+    CellOutcome,
+    ProgressEvent,
+    SweepCell,
+)
+from repro.telemetry.bus import SWEEP_EVENT_KINDS, EventBus, SweepEvent
+
+
+def make_cell(index=0) -> SweepCell:
+    return SweepCell(
+        index=index, protocol="SCC-2S", rate_index=0, arrival_rate=60.0,
+        replication=0,
+    )
+
+
+def test_sweep_event_to_dict_flattens_payload():
+    event = SweepEvent(kind="cell_started", payload={"cell": {"index": 0}})
+    assert event.to_dict() == {"kind": "cell_started", "cell": {"index": 0}}
+
+
+def test_subscribers_receive_events_in_order():
+    bus = EventBus()
+    seen_a, seen_b = [], []
+    bus.subscribe(seen_a.append)
+    bus.subscribe(seen_b.append)
+    first = SweepEvent(kind="cell_started", payload={})
+    second = SweepEvent(kind="cell_completed", payload={})
+    bus.publish(first)
+    bus.publish(second)
+    assert seen_a == [first, second]
+    assert seen_b == [first, second]
+
+
+def test_progress_ticks_map_to_started_and_completed():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    cell = make_cell()
+    bus.publish_progress(ProgressEvent(
+        kind="started", cell=cell, completed=0, total=4, elapsed=0.0, eta=None,
+    ))
+    bus.publish_progress(ProgressEvent(
+        kind="completed", cell=cell, completed=1, total=4, elapsed=0.5,
+        eta=1.5, ok=True,
+    ))
+    assert [event.kind for event in seen] == ["cell_started", "cell_completed"]
+    assert all(kind in SWEEP_EVENT_KINDS for kind in (e.kind for e in seen))
+    payload = seen[1].payload
+    assert payload["cell"]["protocol"] == "SCC-2S"
+    assert payload["completed"] == 1 and payload["total"] == 4
+    assert payload["eta"] == 1.5
+
+
+def make_summary():
+    from repro.metrics.stats import RunSummary
+
+    return RunSummary(
+        committed=108,
+        missed_ratio=2.5,
+        avg_tardiness_late=0.1,
+        avg_tardiness_all=0.01,
+        system_value=99.5,
+        avg_response_time=0.2,
+        restarts=3,
+        shadow_aborts=5,
+        wasted_work=1.5,
+        useful_work=10.0,
+        deferred_commits=0,
+        per_class_missed={"baseline": 2.5},
+        per_class_value={"baseline": 99.5},
+    )
+
+
+def test_outcome_events_carry_summary_and_telemetry():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    telemetry = {"schema": 1, "counters": {"commits": 108}, "gauges": {}}
+    outcome = CellOutcome(
+        cell=make_cell(), summary=make_summary(), error=None, elapsed=0.25,
+        telemetry=telemetry,
+    )
+    bus.publish_outcome(outcome, cached=True)
+    event = seen[0]
+    assert event.kind == "cell_outcome"
+    assert event.payload["ok"] is True
+    assert event.payload["cached"] is True
+    assert event.payload["telemetry"] == telemetry
+    assert event.payload["summary"]["committed"] == 108
+    json.dumps(event.to_dict())  # the whole stream must be JSON-ready
+
+
+def test_failed_outcomes_carry_error_details():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    error = CellError.from_exception(ValueError("boom"))
+    outcome = CellOutcome(
+        cell=make_cell(), summary=None, error=error, elapsed=0.0,
+    )
+    bus.publish_outcome(outcome)
+    payload = seen[0].payload
+    assert payload["ok"] is False
+    assert payload["summary"] is None
+    assert payload["error"] == {"type": "ValueError", "message": "boom"}

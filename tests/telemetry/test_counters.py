@@ -1,0 +1,74 @@
+"""Tests for the counter registry and the per-run telemetry block."""
+
+from repro.telemetry.counters import TELEMETRY_SCHEMA, CounterRegistry, run_telemetry
+
+
+def test_counters_accumulate_and_default_to_zero():
+    registry = CounterRegistry()
+    assert registry.count("aborts") == 0
+    registry.incr("aborts")
+    registry.incr("aborts", 3)
+    assert registry.count("aborts") == 4
+
+
+def test_gauges_keep_the_high_water_mark():
+    registry = CounterRegistry()
+    registry.record_max("peak_live_shadows", 2)
+    registry.record_max("peak_live_shadows", 7)
+    registry.record_max("peak_live_shadows", 5)
+    assert registry.gauge("peak_live_shadows") == 7
+    assert registry.gauge("never_recorded", default=-1.0) == -1.0
+
+
+def test_snapshot_is_name_sorted_and_json_ready():
+    import json
+
+    registry = CounterRegistry()
+    registry.incr("zeta")
+    registry.incr("alpha")
+    registry.record_max("peak", 3.5)
+    snap = registry.snapshot()
+    assert list(snap["counters"]) == ["alpha", "zeta"]
+    assert snap["gauges"] == {"peak": 3.5}
+    json.dumps(snap)  # must serialize as-is
+
+
+def test_run_telemetry_samples_a_real_run():
+    from tests.conftest import R, W, make_class, run_scenario
+
+    from repro.core.scc_2s import SCC2S
+
+    system = run_scenario(
+        SCC2S(),
+        programs=[[R(1), W(2)], [R(2), W(1)], [R(3), R(4)]],
+        arrivals=[0.0, 0.5, 1.0],
+        txn_class=make_class(num_steps=2),
+    )
+    block = run_telemetry(system, wall_clock=0.25)
+    assert block["schema"] == TELEMETRY_SCHEMA
+    assert block["wall_clock"] == 0.25
+    assert block["events_fired"] > 0
+    assert block["peak_pending_events"] >= 1
+    counters = block["counters"]
+    assert counters["arrivals"] == 3
+    assert counters["commits"] == 3
+    # SCC-2S forks an optimistic shadow per arrival at minimum.
+    assert counters["shadow_forks"] >= 3
+    assert block["gauges"]["peak_live_shadows"] >= 1
+
+
+def test_system_counters_match_metrics_accounting():
+    from tests.conftest import R, W, make_class, run_scenario
+
+    from repro.protocols.twopl_pa import TwoPhaseLockingPA
+
+    # A conflicting pair under 2PL: the system's always-on counters and
+    # the metrics collector must agree on commits.
+    system = run_scenario(
+        TwoPhaseLockingPA(),
+        programs=[[W(1), R(2)], [R(1), W(2)]],
+        arrivals=[0.0, 0.25],
+        txn_class=make_class(num_steps=2),
+    )
+    assert system.counters.count("commits") == len(system.history)
+    assert system.counters.count("arrivals") == 2

@@ -1,0 +1,120 @@
+"""Tests for the trace-event taxonomy and its JSONL serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.events import (
+    EVENT_KINDS,
+    TraceEvent,
+    is_marker,
+    iter_trace,
+    read_trace,
+)
+
+
+def make_event(**overrides) -> TraceEvent:
+    values = dict(
+        time=1.5,
+        kind="step_complete",
+        txn=7,
+        lane=2,
+        mode="speculative",
+        pos=3,
+        data={"page": 41, "write": True},
+    )
+    values.update(overrides)
+    return TraceEvent(**values)
+
+
+def test_taxonomy_covers_generic_and_scc_lifecycle():
+    for kind in (
+        "txn_start", "step_complete", "block", "abort", "restart",
+        "commit", "deadline_miss", "txn_finish",
+        "shadow_fork", "shadow_prune", "shadow_promote", "vote",
+    ):
+        assert kind in EVENT_KINDS
+
+
+@pytest.mark.parametrize("kind", EVENT_KINDS)
+def test_every_kind_round_trips_through_dict(kind):
+    event = make_event(kind=kind)
+    assert TraceEvent.from_dict(event.to_dict()) == event
+
+
+def test_round_trips_bit_identically_through_jsonl():
+    event = make_event(time=0.1234567890123456)
+    line = event.to_json_line()
+    assert "\n" not in line
+    rebuilt = TraceEvent.from_json_line(line)
+    assert rebuilt == event
+    assert rebuilt.time == event.time  # shortest-repr float survival
+
+
+def test_optional_fields_default_to_none_and_empty_data():
+    event = TraceEvent(time=0.0, kind="restart", txn=1)
+    payload = event.to_dict()
+    assert payload["lane"] is None
+    assert payload["mode"] is None
+    assert payload["pos"] is None
+    assert payload["data"] == {}
+    assert TraceEvent.from_dict(payload) == event
+
+
+def test_from_dict_rejects_schema_drift():
+    payload = make_event().to_dict()
+    payload["surprise"] = 1
+    with pytest.raises(ConfigurationError, match="surprise"):
+        TraceEvent.from_dict(payload)
+    short = make_event().to_dict()
+    del short["txn"]
+    with pytest.raises(ConfigurationError, match="txn"):
+        TraceEvent.from_dict(short)
+
+
+def test_from_dict_rejects_unknown_kind_and_bad_data():
+    payload = make_event().to_dict()
+    payload["kind"] = "teleport"
+    with pytest.raises(ConfigurationError, match="teleport"):
+        TraceEvent.from_dict(payload)
+    bad_data = make_event().to_dict()
+    bad_data["data"] = "not a dict"
+    with pytest.raises(ConfigurationError, match="data"):
+        TraceEvent.from_dict(bad_data)
+    with pytest.raises(ConfigurationError, match="dict"):
+        TraceEvent.from_dict(["not", "a", "dict"])
+
+
+def test_from_json_line_rejects_corrupt_lines():
+    with pytest.raises(ConfigurationError, match="corrupt"):
+        TraceEvent.from_json_line("{not json")
+
+
+def test_is_marker_distinguishes_cell_boundaries():
+    assert is_marker({"marker": "cell_start", "index": 0})
+    assert not is_marker(make_event().to_dict())
+
+
+def test_read_trace_skips_markers_and_blank_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    events = [make_event(txn=i) for i in range(3)]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"marker": "cell_start", "index": 0}) + "\n")
+        handle.write(events[0].to_json_line() + "\n\n")
+        handle.write(events[1].to_json_line() + "\n")
+        handle.write(json.dumps({"marker": "cell_start", "index": 1}) + "\n")
+        handle.write(events[2].to_json_line() + "\n")
+    assert list(read_trace(path)) == events
+    lines = list(iter_trace(path))
+    assert len(lines) == 5  # markers included
+    assert sum(1 for line in lines if is_marker(line)) == 2
+
+
+def test_iter_trace_rejects_missing_file_and_corrupt_lines(tmp_path):
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        list(iter_trace(tmp_path / "absent.jsonl"))
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"marker": "x"}\n{oops\n', encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="line 2"):
+        list(iter_trace(path))

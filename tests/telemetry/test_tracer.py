@@ -1,0 +1,120 @@
+"""Tests for the trace sinks and lane normalization."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.events import TraceEvent, read_trace
+from repro.telemetry.tracer import JsonlTracer, MemoryTracer, NullTracer
+
+
+def test_lanes_renumber_serials_in_first_seen_order():
+    tracer = MemoryTracer()
+    # Process-global serials (large, non-contiguous) become 0-based lanes.
+    tracer.emit("shadow_fork", 0.0, txn=1, serial=9001)
+    tracer.emit("shadow_fork", 0.1, txn=2, serial=9007)
+    tracer.emit("block", 0.2, txn=1, serial=9001)
+    assert [event.lane for event in tracer.events] == [0, 1, 0]
+
+
+def test_events_without_serial_have_no_lane():
+    tracer = MemoryTracer()
+    tracer.emit("restart", 1.0, txn=3)
+    assert tracer.events[0].lane is None
+
+
+def test_reset_lanes_restarts_numbering():
+    tracer = MemoryTracer()
+    tracer.emit("shadow_fork", 0.0, txn=1, serial=500)
+    tracer.reset_lanes()
+    tracer.emit("shadow_fork", 0.0, txn=1, serial=501)
+    assert [event.lane for event in tracer.events] == [0, 0]
+
+
+def test_memory_tracer_dicts_match_event_dicts():
+    tracer = MemoryTracer()
+    tracer.emit(
+        "step_complete", 2.0, txn=4, serial=10, mode="optimistic", pos=1,
+        data={"page": 3, "write": False},
+    )
+    assert tracer.dicts() == [tracer.events[0].to_dict()]
+
+
+def test_null_tracer_discards_everything():
+    tracer = NullTracer()
+    tracer.emit("commit", 1.0, txn=1, serial=1)
+    tracer.close()  # no-op, must not raise
+
+
+def test_jsonl_tracer_owns_path_and_writes_canonical_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlTracer(path) as tracer:
+        tracer.emit("txn_start", 0.5, txn=9, data={"steps": 16})
+        tracer.write_marker({"marker": "cell_start", "index": 0})
+        tracer.emit("commit", 1.5, txn=9)
+    events = list(read_trace(path))
+    assert [event.kind for event in events] == ["txn_start", "commit"]
+    assert events[0].data == {"steps": 16}
+    # Every line is strict JSON; the marker carries its key.
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert json.loads(lines[1]) == {"marker": "cell_start", "index": 0}
+
+
+def test_jsonl_tracer_borrows_open_handles(tmp_path):
+    buffer = io.StringIO()
+    tracer = JsonlTracer(buffer)
+    tracer.emit("abort", 3.0, txn=2, serial=77, data={"work": 4.0})
+    tracer.close()
+    assert not buffer.closed  # borrowed handles are flushed, not closed
+    event = TraceEvent.from_json_line(buffer.getvalue().strip())
+    assert event.kind == "abort"
+    assert event.lane == 0
+
+
+def test_jsonl_tracer_rejects_unwritable_path(tmp_path):
+    with pytest.raises(ConfigurationError, match="cannot open"):
+        JsonlTracer(tmp_path / "missing-dir" / "trace.jsonl")
+
+
+def test_marker_payloads_must_carry_the_marker_key(tmp_path):
+    tracer = JsonlTracer(io.StringIO())
+    with pytest.raises(ConfigurationError, match="marker"):
+        tracer.write_marker({"index": 0})
+
+
+def test_close_is_idempotent(tmp_path):
+    tracer = JsonlTracer(tmp_path / "trace.jsonl")
+    tracer.close()
+    tracer.close()
+
+
+def test_jsonl_fast_path_matches_the_canonical_encoder():
+    """The hand-assembled JSONL line must be byte-identical to the
+    ``TraceEvent.to_json_line()`` form for every payload shape — including
+    the ones that force the fast path's fallback to the real encoder."""
+    cases = [
+        dict(kind="txn_start", time=0.0, txn=1),
+        dict(kind="step_complete", time=1.25, txn=2, serial=7,
+             mode="optimistic", pos=3, data={"page": 3, "write": False}),
+        dict(kind="deadline_miss", time=1e-05, txn=0, data={"tardiness": 0.5}),
+        dict(kind="shadow_fork", time=12.75, txn=9, serial=8,
+             mode="speculative",
+             data={"origin": "restart", "note": 'needs "escaping" é'}),
+        dict(kind="vote", time=3.0, txn=4, serial=7, data={"decision": None}),
+        dict(kind="vote", time=3.5, txn=4, data={"nested": {"a": 1}}),
+        dict(kind="vote", time=4.0, txn=4, data={"inf": float("inf")}),
+        dict(kind="vote", time=4.5, txn=4,
+             data={"big": -12, "ratio": 0.125, "safe": "a/b=c d"}),
+    ]
+    buffer = io.StringIO()
+    fast = JsonlTracer(buffer)
+    slow = MemoryTracer()
+    for case in cases:
+        fast.emit(**case)
+        slow.emit(**case)
+    fast.close()
+    fast_lines = buffer.getvalue().splitlines()
+    slow_lines = [event.to_json_line() for event in slow.events]
+    assert fast_lines == slow_lines

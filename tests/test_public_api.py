@@ -32,6 +32,9 @@ def test_version():
         "repro.protocols.registry",
         "repro.results",
         "repro.system",
+        "repro.telemetry",
+        "repro.telemetry.events",
+        "repro.telemetry.tracer",
         "repro.txn",
         "repro.values",
         "repro.workloads",
