@@ -16,7 +16,10 @@ Proves the persistence layer's core promise end to end:
 Usage::
 
     python scripts/resume_smoke.py [--transactions 200] [--replications 2]
-                                   [--rates 60,140]
+                                   [--rates 60,140] [--store-backend sqlite]
+
+``--store-backend`` picks the run-store backend (default ``jsonl``); the
+whole kill/resume contract must hold identically for every backend.
 
 Exit codes: 0 OK, 1 mismatch/failure.  (Also used internally with
 ``--phase interrupted``, the subprocess that kills itself.)
@@ -35,9 +38,16 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 from repro.experiments.config import baseline_config  # noqa: E402
 from repro.experiments.figures import fig13_protocols  # noqa: E402
 from repro.experiments.runner import build_cells, run_sweep  # noqa: E402
-from repro.results import RunStore  # noqa: E402
+from repro.results import STORE_BACKENDS, open_store  # noqa: E402
 
 KILL_EXIT_CODE = 87  # distinctive: "I killed myself on purpose"
+
+
+def _remove_store_files(path: str) -> None:
+    """Remove the store plus any SQLite WAL/shm sidecars."""
+    for candidate in (path, path + "-wal", path + "-shm"):
+        if os.path.exists(candidate):
+            os.unlink(candidate)
 
 
 def build_config(args: argparse.Namespace):
@@ -71,7 +81,8 @@ def run_interrupted(args: argparse.Namespace) -> int:
             # what the store already fsync'd per cell.
             os._exit(KILL_EXIT_CODE)
 
-    run_sweep(protocols, config, store=args.store, on_progress=on_progress)
+    run_sweep(protocols, config, store=args.store,
+              store_backend=args.store_backend, on_progress=on_progress)
     print("error: interrupted phase ran to completion without dying",
           file=sys.stderr)
     return 1
@@ -84,6 +95,8 @@ def main(argv=None) -> int:
     parser.add_argument("--rates", type=str, default="60,140")
     parser.add_argument("--seed", type=int, default=90_1995)
     parser.add_argument("--store", type=str, default="resume_smoke_runs.jsonl")
+    parser.add_argument("--store-backend", choices=list(STORE_BACKENDS),
+                        default="jsonl")
     parser.add_argument("--phase", choices=["interrupted"], default=None,
                         help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
@@ -91,8 +104,7 @@ def main(argv=None) -> int:
     if args.phase == "interrupted":
         return run_interrupted(args)
 
-    if os.path.exists(args.store):
-        os.unlink(args.store)
+    _remove_store_files(args.store)
 
     config = build_config(args)
     protocols = fig13_protocols()
@@ -108,14 +120,15 @@ def main(argv=None) -> int:
          "--transactions", str(args.transactions),
          "--replications", str(args.replications),
          "--rates", args.rates, "--seed", str(args.seed),
-         "--store", args.store],
+         "--store", args.store, "--store-backend", args.store_backend],
         cwd=os.getcwd(),
     )
     if proc.returncode != KILL_EXIT_CODE:
         print(f"error: interrupted phase exited {proc.returncode}, "
               f"expected the self-kill code {KILL_EXIT_CODE}", file=sys.stderr)
         return 1
-    survived = len(RunStore(args.store))
+    with open_store(args.store, backend=args.store_backend) as store:
+        survived = len(store)
     print(f"      store kept {survived}/{total} cells across the kill")
     if not 0 < survived < total:
         print("error: the kill left the store empty or complete — the "
@@ -130,7 +143,8 @@ def main(argv=None) -> int:
         if event.kind == "completed":
             executed += 1
 
-    resumed = run_sweep(protocols, config, store=args.store, on_progress=count)
+    resumed = run_sweep(protocols, config, store=args.store,
+                        store_backend=args.store_backend, on_progress=count)
     print(f"      resume executed {executed} cells "
           f"(grid {total}, surviving {survived})")
     if executed != total - survived:
@@ -147,7 +161,7 @@ def main(argv=None) -> int:
             print(f"error: resumed summaries for {name} are not "
                   "bit-identical to the cold run", file=sys.stderr)
             return 1
-    os.unlink(args.store)
+    _remove_store_files(args.store)
     print("OK: interrupted sweep resumed only missing cells; results "
           "bit-identical to the cold run")
     return 0

@@ -87,7 +87,14 @@ from repro.workloads.scenarios import (
     register_scenario,
     scenario_from_dict,
 )
-from repro.results import RunRecord, RunStore, cell_fingerprint, config_fingerprint
+from repro.results import (
+    RunRecord,
+    RunStore,
+    SQLiteRunStore,
+    cell_fingerprint,
+    config_fingerprint,
+    open_store,
+)
 from repro.telemetry import (
     JsonlTracer,
     MemoryTracer,
@@ -133,6 +140,7 @@ __all__ = [
     "SCCDC",
     "SCCVW",
     "SCCkS",
+    "SQLiteRunStore",
     "Scenario",
     "SerialExecution",
     "SimulationError",
@@ -160,6 +168,7 @@ __all__ = [
     "figure3_table",
     "get_scenario",
     "mean_confidence_interval",
+    "open_store",
     "parse_protocol_spec",
     "protocol_spec",
     "read_trace",

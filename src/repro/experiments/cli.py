@@ -14,6 +14,8 @@ Installed as both ``scc-experiments`` and ``repro``.  Usage::
     scc-experiments results list --store runs.jsonl
     scc-experiments results export --store runs.jsonl --format csv
     scc-experiments results diff --store a.jsonl --against b.jsonl
+    scc-experiments results merge --store all.sqlite --from shard0.jsonl,shard1.jsonl
+    scc-experiments results compact --store runs.jsonl
 
 Each figure command prints the series the corresponding paper figure
 plots, as a fixed-width table (one row per arrival rate, one column per
@@ -37,12 +39,18 @@ paper-baseline`` is bit-identical to the default path).  The command
 defaults to ``fig13a`` so ``scc-experiments --scenario NAME`` works bare.
 
 ``--store PATH`` makes the sweep persistent and resumable: cells already
-in the JSONL run store are served from it, fresh cells are appended as
-they complete, and an interrupted invocation picks up where it died.
+in the run store are served from it, fresh cells are appended as they
+complete, and an interrupted invocation picks up where it died.
+``--store-backend jsonl|sqlite`` forces the store backend; omitted, an
+existing file is sniffed by content and a new path decided by extension
+(``.sqlite``/``.sqlite3``/``.db`` mean SQLite).  ``--executor
+distributed --workers N`` fans the sweep out to N worker "hosts" over a
+shared job board (see docs/ARCHITECTURE.md, "Distributed execution").
 ``--format json|csv`` replaces the table with the canonical
 :class:`~repro.results.record.RunRecord` serialization (machine-readable;
 status lines go to stderr).  The ``results`` subcommand lists, exports,
-and diffs stored runs without re-simulating anything.
+diffs, merges (``merge --from shard,...``), and compacts stored runs
+without re-simulating anything.
 
 Observability (see docs/ARCHITECTURE.md, "Telemetry & observability"):
 
@@ -68,7 +76,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.shadow_counts import figure3_table
 from repro.engine.array import ENGINE_NAMES
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments import figures
 from repro.experiments.config import (
     ExperimentConfig,
@@ -79,8 +87,11 @@ from repro.experiments.parallel import available_executors, resolve_executor
 from repro.experiments.runner import SweepResult
 from repro.metrics.report import format_series_table, format_table
 from repro.results import (
-    RunStore,
+    STORE_BACKENDS,
+    BaseRunStore,
     diff_records,
+    merge_stores,
+    open_store,
     records_from_results,
     records_to_json,
     write_csv,
@@ -242,7 +253,7 @@ def _run_figure(command: str, args: argparse.Namespace) -> str:
     rates = _parse_rates(args.rates)
     runner = _RUNNERS[command]
     executor = _resolve_executor_or_exit(args)
-    store = RunStore(args.store) if args.store else None
+    store = _open_store_or_exit(args.store, args.store_backend) if args.store else None
     stored_before = len(store) if store is not None else 0
     started = time.time()
     results: dict[str, SweepResult] = runner(
@@ -309,12 +320,23 @@ def _render_records(records, fmt: str) -> str:
     return buffer.getvalue().rstrip("\n")
 
 
-def _load_store_or_exit(path: Optional[str]) -> RunStore:
+def _open_store_or_exit(
+    path: str, backend: Optional[str] = None
+) -> BaseRunStore:
+    try:
+        return open_store(path, backend=backend)
+    except (ConfigurationError, ReproError) as exc:
+        raise SystemExit(f"scc-experiments: error: {exc}")
+
+
+def _load_store_or_exit(
+    path: Optional[str], backend: Optional[str] = None
+) -> BaseRunStore:
     if not path:
         raise SystemExit(
             "scc-experiments: error: the results command needs --store PATH"
         )
-    store = RunStore(path)
+    store = _open_store_or_exit(path, backend)
     if store.corrupt_lines:
         _log.warning(
             "note: %d corrupt line(s) in %s were skipped (interrupted "
@@ -324,7 +346,7 @@ def _load_store_or_exit(path: Optional[str]) -> RunStore:
     return store
 
 
-def _results_list(store: RunStore) -> str:
+def _results_list(store: BaseRunStore) -> str:
     rows = []
     for record in store.records():
         rows.append(
@@ -349,7 +371,7 @@ def _results_list(store: RunStore) -> str:
     return table
 
 
-def _results_diff(store: RunStore, against: Optional[str]) -> tuple[str, int]:
+def _results_diff(store: BaseRunStore, against: Optional[str]) -> tuple[str, int]:
     if not against:
         raise SystemExit(
             "scc-experiments: error: results diff needs --against OTHER_STORE"
@@ -383,14 +405,51 @@ def _results_diff(store: RunStore, against: Optional[str]) -> tuple[str, int]:
     return "\n".join(lines), 1 if differs else 0
 
 
+def _results_merge(args: argparse.Namespace) -> tuple[str, int]:
+    if not args.merge_from:
+        raise SystemExit(
+            "scc-experiments: error: results merge needs "
+            "--from SHARD[,SHARD...]"
+        )
+    shard_paths = [p.strip() for p in args.merge_from.split(",") if p.strip()]
+    if not shard_paths:
+        raise SystemExit(
+            "scc-experiments: error: results merge needs at least one "
+            "shard path in --from"
+        )
+    sources = [_load_store_or_exit(path) for path in shard_paths]
+    dest = _load_store_or_exit(args.store, args.store_backend)
+    merged = merge_stores(dest, sources)
+    dest.close()
+    for source in sources:
+        source.close()
+    return (
+        f"merged {merged} record(s) from {len(sources)} shard(s) into "
+        f"{dest.path} ({len(dest)} record(s) total)"
+    ), 0
+
+
+def _results_compact(store: BaseRunStore) -> tuple[str, int]:
+    dropped = store.compact()
+    store.close()
+    return (
+        f"compacted {store.path}: dropped {dropped} superseded/corrupt "
+        f"row(s), {len(store)} record(s) kept"
+    ), 0
+
+
 def _run_results(args: argparse.Namespace) -> tuple[str, int]:
     action = args.action or "list"
-    store = _load_store_or_exit(args.store)
+    if action == "merge":
+        return _results_merge(args)
+    store = _load_store_or_exit(args.store, args.store_backend)
     if action == "list":
         return _results_list(store), 0
     if action == "export":
         fmt = args.format if args.format != "table" else "json"
         return _render_records(store.records(), fmt), 0
+    if action == "compact":
+        return _results_compact(store)
     return _results_diff(store, args.against)
 
 
@@ -457,7 +516,12 @@ def _run_spec(args: argparse.Namespace) -> str:
         overrides["num_transactions"] = args.transactions
     rates = _parse_rates(args.rates)
     store_path = args.store if args.store else spec.store
-    store = RunStore(store_path) if store_path else None
+    store_backend = (
+        args.store_backend if args.store_backend else spec.store_backend
+    )
+    store = (
+        _open_store_or_exit(store_path, store_backend) if store_path else None
+    )
     stored_before = len(store) if store is not None else 0
     started = time.time()
     try:
@@ -663,9 +727,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         metavar="action|spec.json",
         help="for the results command: list (default), export "
-        "(--format json|csv), or diff (--against); for the run command: "
-        "the experiment-spec JSON file to execute; for the trace "
-        "command: summarize (default) or timeline",
+        "(--format json|csv), diff (--against), merge (--from), or "
+        "compact; for the run command: the experiment-spec JSON file to "
+        "execute; for the trace command: summarize (default) or timeline",
     )
     parser.add_argument(
         "path",
@@ -703,7 +767,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--workers", type=int, default=None,
-        help="worker processes for the process executor (default: all cores)",
+        help="worker processes for the process and distributed executors "
+        "(default: all cores)",
     )
     parser.add_argument(
         "--engine", choices=list(ENGINE_NAMES), default=None,
@@ -716,8 +781,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--store", type=str, default=None,
-        help="JSONL run store: completed cells are reused, fresh cells "
-        "appended as they finish (interrupted sweeps resume)",
+        help="run store: completed cells are reused, fresh cells appended "
+        "as they finish (interrupted sweeps resume); existing files are "
+        "opened by content, new paths by extension (see --store-backend)",
+    )
+    parser.add_argument(
+        "--store-backend", dest="store_backend",
+        choices=list(STORE_BACKENDS), default=None,
+        help="force the --store backend (default: sniff existing files by "
+        "content, pick by extension for new paths — .sqlite/.sqlite3/.db "
+        "mean sqlite, anything else jsonl)",
+    )
+    parser.add_argument(
+        "--from", dest="merge_from", type=str, default=None,
+        metavar="SHARD[,SHARD...]",
+        help="results merge: comma-separated shard stores to fold into "
+        "--store (idempotent; later shards win on conflicting cells)",
     )
     parser.add_argument(
         "--format", choices=["table", "json", "csv"], default="table",
@@ -771,11 +850,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "command (figure commands don't take it yet)"
         )
     if args.command == "results" and args.action not in (
-        None, "list", "export", "diff",
+        None, "list", "export", "diff", "merge", "compact",
     ):
         raise SystemExit(
             f"scc-experiments: error: unknown results action "
-            f"{args.action!r} (choose list, export, or diff)"
+            f"{args.action!r} (choose list, export, diff, merge, or compact)"
+        )
+    if args.merge_from is not None and (
+        args.command != "results" or args.action != "merge"
+    ):
+        raise SystemExit(
+            "scc-experiments: error: --from only applies to the "
+            "'results merge' command"
         )
     if args.format != "table" and args.command in (
         "all", "fig3", "scenarios", "specs",

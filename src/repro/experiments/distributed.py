@@ -1,0 +1,778 @@
+"""Distributed sweep execution: a SQLite job board and worker "hosts".
+
+The executor models a small fleet: N worker processes (the "hosts") pull
+fingerprinted cells from one shared job board, compute them, and stream
+outcomes into per-worker shard files; the parent reassembles outcomes in
+cell order, bit-identical to the serial executor.  Because every cell is
+deterministic in ``(seed, replication)`` alone, at-least-once execution
+is free — a crashed worker's cell is simply recomputed, and last-wins
+resolution makes duplicates harmless.
+
+The moving parts:
+
+* :class:`JobBoard` — one WAL-mode SQLite table of cells with a
+  claim/lease protocol.  A worker ``claim()`` atomically takes the
+  lowest pending cell and stamps a lease expiry; a heartbeat thread
+  extends the lease while the cell computes.  If the worker dies, the
+  lease lapses and the parent requeues the cell with backoff, bounded
+  by ``max_attempts``.
+* **Shard files** — each worker appends outcomes as fsync'd JSON lines
+  to its own ``outcomes-<host>.jsonl``.  The parent tails every shard
+  incrementally; a torn tail is retried on the next poll, and a
+  complete-but-undecodable line counts as corruption.  Workers mark a
+  cell done only *after* its outcome line is durable, so "done on the
+  board but unreadable in every shard" is a corruption signal the
+  parent answers by requeueing the cell.
+* :class:`DistributedSweepExecutor` — the parent loop: spawn workers,
+  tail shards, expire leases, respawn dead hosts within a restart
+  budget, and emit worker lifecycle events (``worker_started``,
+  ``worker_stopped``, ``worker_lost``, ``cell_retried``) through
+  :attr:`~DistributedSweepExecutor.lifecycle_hook` onto the sweep
+  telemetry bus.
+
+Workers are forked, so the cell runner (a closure over protocol
+factories) is inherited, never pickled — the same constraint as
+:class:`~repro.experiments.parallel.ProcessSweepExecutor`, with the same
+degrade-to-serial fallback where fork is unavailable.
+
+Failure semantics mirror the rest of the stack: a runner that raises a
+*deterministic* exception produces an error outcome exactly once (no
+retry — rerunning deterministic code cannot help), while worker *death*
+(kill, OOM, a fault hook calling ``os._exit``) triggers lease-expiry
+retry with backoff.  A cell whose retry budget is exhausted yields a
+synthetic ``WorkerLost`` error outcome, which
+:func:`~repro.experiments.runner.assemble_results` surfaces as a
+:class:`~repro.errors.SweepExecutionError`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import sqlite3
+import tempfile
+import threading
+import time
+from dataclasses import asdict
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import (
+    CellError,
+    CellOutcome,
+    CellRunner,
+    OutcomeCallback,
+    ProgressCallback,
+    ProgressEvent,
+    SerialSweepExecutor,
+    SweepCell,
+    SweepExecutor,
+    _eta,
+    _execute_cell,
+)
+from repro.metrics.stats import RunSummary
+
+__all__ = ["CELL_STATES", "DistributedSweepExecutor", "JobBoard"]
+
+#: Lifecycle of one board cell.  ``pending`` (claimable, possibly in
+#: retry backoff) -> ``claimed`` (leased to a worker) -> ``done`` /
+#: ``failed``; lease expiry moves ``claimed`` back to ``pending`` until
+#: the attempt budget runs out.
+CELL_STATES = ("pending", "claimed", "done", "failed")
+
+_BOARD_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cells (
+    idx INTEGER PRIMARY KEY,
+    payload TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'pending',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    worker TEXT,
+    lease_expiry REAL,
+    not_before REAL NOT NULL DEFAULT 0
+);
+"""
+
+
+class JobBoard:
+    """The shared cell queue: claim/lease/complete over one SQLite file.
+
+    Every participant — parent and each worker host, including worker
+    heartbeat threads — opens its *own* ``JobBoard`` on the same path;
+    WAL mode plus ``BEGIN IMMEDIATE`` claim transactions make the
+    hand-off race-free (a cell is leased to exactly one worker at a
+    time).
+
+    Args:
+        path: The SQLite file backing the board.
+        busy_timeout: Seconds a statement waits on another participant's
+            write lock.
+    """
+
+    def __init__(self, path: "str | os.PathLike", busy_timeout: float = 30.0) -> None:
+        self.path = os.fspath(path)
+        self._conn = sqlite3.connect(
+            self.path, timeout=busy_timeout, isolation_level=None
+        )
+        # The board is scratch state, rebuildable from the sweep grid:
+        # NORMAL sync keeps claims cheap without risking record data.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_BOARD_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+
+    def populate(self, cells: Sequence[SweepCell]) -> None:
+        """Insert cells as pending; already-present indexes are kept."""
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO cells (idx, payload) VALUES (?, ?)",
+            [(cell.index, json.dumps(asdict(cell), sort_keys=True)) for cell in cells],
+        )
+
+    # ------------------------------------------------------------------
+    # the claim/lease protocol
+    # ------------------------------------------------------------------
+
+    def claim(
+        self, worker: str, lease_seconds: float
+    ) -> Optional[tuple[SweepCell, int]]:
+        """Atomically lease the lowest claimable cell to ``worker``.
+
+        Returns:
+            ``(cell, attempt)`` — attempt counts this claim, starting at
+            1 — or ``None`` when nothing is claimable right now (empty
+            board, every cell leased/finished, or retries still in
+            backoff).
+        """
+        now = time.time()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT idx, payload, attempts FROM cells "
+                "WHERE state = 'pending' AND not_before <= ? "
+                "ORDER BY idx LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is None:
+                self._conn.execute("COMMIT")
+                return None
+            idx, payload, attempts = row
+            self._conn.execute(
+                "UPDATE cells SET state = 'claimed', worker = ?, "
+                "lease_expiry = ?, attempts = ? WHERE idx = ?",
+                (worker, now + lease_seconds, attempts + 1, idx),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return _cell_from_json(payload), attempts + 1
+
+    def heartbeat(self, worker: str, index: int, lease_seconds: float) -> bool:
+        """Extend ``worker``'s lease on a cell it still holds.
+
+        Returns:
+            Whether the lease was extended — ``False`` means the cell
+            was reassigned (the lease had already lapsed), a signal the
+            worker's result may be superseded.
+        """
+        cursor = self._conn.execute(
+            "UPDATE cells SET lease_expiry = ? "
+            "WHERE idx = ? AND worker = ? AND state = 'claimed'",
+            (time.time() + lease_seconds, index, worker),
+        )
+        return cursor.rowcount == 1
+
+    def complete(self, index: int) -> None:
+        """Mark a cell done (terminal; idempotent across duplicate runs)."""
+        self._conn.execute(
+            "UPDATE cells SET state = 'done' WHERE idx = ?", (index,)
+        )
+
+    def fail(self, index: int) -> None:
+        """Mark a cell failed — a *deterministic* error, never retried."""
+        self._conn.execute(
+            "UPDATE cells SET state = 'failed' WHERE idx = ?", (index,)
+        )
+
+    def requeue(self, index: int, not_before: float = 0.0) -> None:
+        """Force a cell back to pending (the corruption-recovery path)."""
+        self._conn.execute(
+            "UPDATE cells SET state = 'pending', worker = NULL, "
+            "lease_expiry = NULL, not_before = ? WHERE idx = ?",
+            (not_before, index),
+        )
+
+    def expire_leases(
+        self, max_attempts: int, backoff_seconds: float
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """Reap lapsed leases: requeue with backoff, or exhaust.
+
+        A claimed cell whose lease expired was held by a dead (or
+        wedged) worker.  Cells with attempts left go back to pending
+        with linear backoff (``attempts * backoff_seconds``); cells at
+        the ``max_attempts`` ceiling become failed.
+
+        Returns:
+            ``(retried, exhausted)`` lists of ``(index, attempts)``.
+        """
+        now = time.time()
+        retried: list[tuple[int, int]] = []
+        exhausted: list[tuple[int, int]] = []
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            rows = self._conn.execute(
+                "SELECT idx, attempts FROM cells "
+                "WHERE state = 'claimed' AND lease_expiry < ?",
+                (now,),
+            ).fetchall()
+            for idx, attempts in rows:
+                if attempts >= max_attempts:
+                    self._conn.execute(
+                        "UPDATE cells SET state = 'failed' WHERE idx = ?",
+                        (idx,),
+                    )
+                    exhausted.append((idx, attempts))
+                else:
+                    self._conn.execute(
+                        "UPDATE cells SET state = 'pending', worker = NULL, "
+                        "lease_expiry = NULL, not_before = ? WHERE idx = ?",
+                        (now + attempts * backoff_seconds, idx),
+                    )
+                    retried.append((idx, attempts))
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return retried, exhausted
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Cell count per state (every state present, zero-filled)."""
+        result = {state: 0 for state in CELL_STATES}
+        for state, count in self._conn.execute(
+            "SELECT state, COUNT(*) FROM cells GROUP BY state"
+        ):
+            result[state] = count
+        return result
+
+    def unfinished(self) -> int:
+        """Cells not yet terminal (pending — including backoff — or claimed)."""
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM cells WHERE state IN ('pending', 'claimed')"
+        ).fetchone()
+        return count
+
+    def indexes_in_state(self, state: str) -> set[int]:
+        """The cell indexes currently in ``state``."""
+        if state not in CELL_STATES:
+            raise ConfigurationError(
+                f"unknown cell state {state!r} (choose from {CELL_STATES})"
+            )
+        return {
+            idx
+            for (idx,) in self._conn.execute(
+                "SELECT idx FROM cells WHERE state = ?", (state,)
+            )
+        }
+
+    def attempts(self, index: int) -> int:
+        """How many times the cell has been claimed."""
+        row = self._conn.execute(
+            "SELECT attempts FROM cells WHERE idx = ?", (index,)
+        ).fetchone()
+        if row is None:
+            raise ConfigurationError(f"no cell {index} on the job board")
+        return row[0]
+
+    def close(self) -> None:
+        """Close this participant's connection (the board file persists)."""
+        self._conn.close()
+
+
+def _cell_from_json(payload: str) -> SweepCell:
+    return SweepCell(**json.loads(payload))
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+
+class _ShardWriter:
+    """Appends one worker's outcomes as durable JSON lines."""
+
+    def __init__(self, path: str) -> None:
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def append(self, outcome: CellOutcome, attempt: int) -> None:
+        # Real sweeps produce RunSummary results; ad-hoc runners may
+        # return any JSON-serializable value, so tag which one this is.
+        if isinstance(outcome.summary, RunSummary):
+            summary_kind, summary = "run_summary", outcome.summary.to_dict()
+        else:
+            summary_kind, summary = "raw", outcome.summary
+        payload: Dict[str, Any] = {
+            "index": outcome.cell.index,
+            "attempt": attempt,
+            "ok": outcome.ok,
+            "elapsed": outcome.elapsed,
+            "summary": summary,
+            "summary_kind": summary_kind,
+            "telemetry": outcome.telemetry,
+            "error": asdict(outcome.error) if outcome.error is not None else None,
+        }
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def _heartbeat_loop(
+    board_path: str,
+    worker_id: str,
+    index: int,
+    lease_seconds: float,
+    heartbeat_seconds: float,
+    stop: threading.Event,
+) -> None:
+    board = JobBoard(board_path)
+    try:
+        while not stop.wait(heartbeat_seconds):
+            board.heartbeat(worker_id, index, lease_seconds)
+    finally:
+        board.close()
+
+
+def _worker_main(
+    board_path: str,
+    shard_path: str,
+    worker_id: str,
+    runner: CellRunner,
+    lease_seconds: float,
+    heartbeat_seconds: float,
+    poll_seconds: float,
+    fault_hook: Optional[Callable[[SweepCell, int], None]],
+) -> None:
+    """One host: claim cells, compute, write the shard, mark the board.
+
+    The outcome line is fsync'd *before* the board marks the cell
+    done/failed — the ordering the parent's corruption detection relies
+    on.  Exits cleanly once the board has no unfinished cells.
+    """
+    board = JobBoard(board_path)
+    writer = _ShardWriter(shard_path)
+    try:
+        while True:
+            claimed = board.claim(worker_id, lease_seconds)
+            if claimed is None:
+                if board.unfinished() == 0:
+                    return
+                time.sleep(poll_seconds)
+                continue
+            cell, attempt = claimed
+            if fault_hook is not None:
+                # The injection seam: a hook that calls os._exit (or
+                # raises) here simulates a host dying mid-cell.
+                fault_hook(cell, attempt)
+            stop = threading.Event()
+            beat = threading.Thread(
+                target=_heartbeat_loop,
+                args=(
+                    board_path,
+                    worker_id,
+                    cell.index,
+                    lease_seconds,
+                    heartbeat_seconds,
+                    stop,
+                ),
+                daemon=True,
+            )
+            beat.start()
+            try:
+                outcome = _execute_cell(cell, runner)
+            finally:
+                stop.set()
+                beat.join()
+            writer.append(outcome, attempt)
+            if outcome.ok:
+                board.complete(cell.index)
+            else:
+                board.fail(cell.index)
+    finally:
+        writer.close()
+        board.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+class _ShardReader:
+    """Incrementally tails one shard file from the parent.
+
+    Only complete (newline-terminated) lines are consumed; a torn tail —
+    a worker killed mid-append — stays unread until the retry completes
+    it or supersedes it.  Complete lines that fail to decode count as
+    corruption and are skipped (the board-side "done without an
+    outcome" check requeues the affected cell).
+    """
+
+    def __init__(self, path: str, cells_by_index: Dict[int, SweepCell]) -> None:
+        self.path = path
+        self._cells_by_index = cells_by_index
+        self._offset = 0
+        self.corrupt_lines = 0
+
+    def poll(self) -> list[CellOutcome]:
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(self._offset)
+                data = fh.read()
+        except FileNotFoundError:
+            return []
+        if not data:
+            return []
+        lines = data.split(b"\n")
+        tail = lines.pop()  # b"" when data ends in a newline
+        self._offset += len(data) - len(tail)
+        outcomes: list[CellOutcome] = []
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                outcomes.append(self._decode(json.loads(line)))
+            except Exception:  # noqa: BLE001 - any damage means corrupt
+                self.corrupt_lines += 1
+        return outcomes
+
+    def _decode(self, payload: dict) -> CellOutcome:
+        cell = self._cells_by_index[payload["index"]]
+        summary = payload["summary"]
+        if payload["summary_kind"] == "run_summary":
+            summary = RunSummary.from_dict(summary)
+        error = (
+            CellError(**payload["error"]) if payload["error"] is not None else None
+        )
+        if error is None and summary is None:
+            raise ValueError("outcome carries neither summary nor error")
+        return CellOutcome(
+            cell=cell,
+            summary=summary,
+            error=error,
+            elapsed=payload["elapsed"],
+            telemetry=payload["telemetry"],
+        )
+
+
+def _lost_outcome(cell: SweepCell, attempts: int) -> CellOutcome:
+    error = CellError(
+        exc_type="WorkerLost",
+        message=(
+            f"cell {cell.describe()} was claimed {attempts} time(s) but no "
+            "worker delivered a readable outcome (worker death or corrupted "
+            "shard output); retry budget exhausted"
+        ),
+        traceback="",
+    )
+    return CellOutcome(cell=cell, summary=None, error=error, elapsed=0.0)
+
+
+class DistributedSweepExecutor(SweepExecutor):
+    """Fan cells out to N forked "hosts" via a shared SQLite job board.
+
+    Registered as ``"distributed"``; reach it through
+    ``run_sweep(executor="distributed", workers=N)`` or the CLI's
+    ``--executor distributed --workers N``.  Outcomes are reassembled in
+    cell order and are bit-identical to the serial executor — including
+    under worker crashes, which the lease/retry protocol absorbs.
+
+    Args:
+        workers: Host count; ``None`` means ``os.cpu_count()``, clamped
+            to the cell count.
+        chunk_size: Rejected — the board hands out single cells (work
+            stealing makes chunking pointless and would widen the loss
+            window on a crash).
+        lease_seconds: How long a claim stays valid without a heartbeat.
+        heartbeat_seconds: Lease-extension period; defaults to a third
+            of the lease.
+        poll_seconds: Parent/worker poll interval for shard tails and
+            idle claims.
+        max_attempts: Claim ceiling per cell before it is declared lost.
+        backoff_seconds: Linear requeue backoff (``attempts * backoff``).
+        max_worker_restarts: Replacement-host budget after worker deaths;
+            defaults to ``workers * max_attempts``.
+        workdir: Directory for the board and shards; ``None`` uses a
+            temp dir removed after the run.  A caller-supplied workdir
+            is kept (and its pre-existing board/shard state honored,
+            which is what the corruption-injection tests exploit).
+        fault_hook: Test seam, called in the *worker* process as
+            ``hook(cell, attempt)`` right after each claim.  Raising or
+            ``os._exit``-ing simulates a host fault.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        lease_seconds: float = 30.0,
+        heartbeat_seconds: Optional[float] = None,
+        poll_seconds: float = 0.05,
+        max_attempts: int = 3,
+        backoff_seconds: float = 0.0,
+        max_worker_restarts: Optional[int] = None,
+        workdir: "str | os.PathLike | None" = None,
+        fault_hook: Optional[Callable[[SweepCell, int], None]] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(
+                f"DistributedSweepExecutor needs workers >= 1, got {workers}"
+            )
+        if chunk_size is not None:
+            raise ConfigurationError(
+                "the distributed executor schedules single cells; "
+                "chunk_size does not apply"
+            )
+        if lease_seconds <= 0:
+            raise ConfigurationError(
+                f"lease_seconds must be > 0, got {lease_seconds}"
+            )
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if backoff_seconds < 0:
+            raise ConfigurationError(
+                f"backoff_seconds must be >= 0, got {backoff_seconds}"
+            )
+        if poll_seconds <= 0:
+            raise ConfigurationError(
+                f"poll_seconds must be > 0, got {poll_seconds}"
+            )
+        self.workers = workers
+        self.lease_seconds = lease_seconds
+        self.heartbeat_seconds = (
+            heartbeat_seconds if heartbeat_seconds is not None else lease_seconds / 3.0
+        )
+        self.poll_seconds = poll_seconds
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
+        self.max_worker_restarts = max_worker_restarts
+        self.workdir = os.fspath(workdir) if workdir is not None else None
+        self.fault_hook = fault_hook
+        #: Parent-side lifecycle sink, ``hook(kind, payload)``;
+        #: ``run_sweep`` points it at the telemetry bus.
+        self.lifecycle_hook: Optional[Callable[[str, Dict[str, Any]], None]] = None
+
+    def _emit(self, kind: str, payload: Dict[str, Any]) -> None:
+        if self.lifecycle_hook is not None:
+            self.lifecycle_hook(kind, payload)
+
+    def run(
+        self,
+        cells: Sequence[SweepCell],
+        runner: CellRunner,
+        on_progress: Optional[ProgressCallback] = None,
+        on_outcome: Optional[OutcomeCallback] = None,
+    ) -> list[CellOutcome]:
+        if not cells:
+            return []
+        if "fork" not in multiprocessing.get_all_start_methods():
+            # No fork: the runner closure cannot reach hosts unpickled.
+            return SerialSweepExecutor().run(cells, runner, on_progress, on_outcome)
+        context = multiprocessing.get_context("fork")
+        workers = max(1, min(self.workers or os.cpu_count() or 1, len(cells)))
+        workdir = self.workdir or tempfile.mkdtemp(prefix="repro-distributed-")
+        owns_workdir = self.workdir is None
+        os.makedirs(workdir, exist_ok=True)
+        board = JobBoard(os.path.join(workdir, "board.sqlite"))
+        board.populate(cells)
+        cells_by_index = {cell.index: cell for cell in cells}
+        total = len(cells)
+        restarts_left = (
+            self.max_worker_restarts
+            if self.max_worker_restarts is not None
+            else workers * self.max_attempts
+        )
+        delivered: Dict[int, CellOutcome] = {}
+        readers: Dict[str, _ShardReader] = {}
+        procs: Dict[str, Any] = {}
+        next_host = 0
+        t0 = time.perf_counter()
+
+        def spawn() -> None:
+            nonlocal next_host
+            worker_id = f"host-{next_host}"
+            next_host += 1
+            shard = os.path.join(workdir, f"outcomes-{worker_id}.jsonl")
+            proc = context.Process(
+                target=_worker_main,
+                args=(
+                    board.path,
+                    shard,
+                    worker_id,
+                    runner,
+                    self.lease_seconds,
+                    self.heartbeat_seconds,
+                    self.poll_seconds,
+                    self.fault_hook,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            procs[worker_id] = proc
+            self._emit("worker_started", {"worker": worker_id, "pid": proc.pid})
+
+        def discover_shards() -> None:
+            # Pick up shards the parent did not spawn (pre-seeded test
+            # fixtures, a previous interrupted run in a kept workdir).
+            for name in sorted(os.listdir(workdir)):
+                if (
+                    name.startswith("outcomes-")
+                    and name.endswith(".jsonl")
+                    and name not in readers
+                ):
+                    readers[name] = _ShardReader(
+                        os.path.join(workdir, name), cells_by_index
+                    )
+
+        def drain_shards() -> None:
+            discover_shards()
+            for reader in readers.values():
+                for outcome in reader.poll():
+                    deliver(outcome)
+
+        def deliver(outcome: CellOutcome) -> None:
+            index = outcome.cell.index
+            if index in delivered:
+                # A duplicate from an at-least-once retry: the cell is
+                # deterministic, so either copy is the same result.
+                return
+            delivered[index] = outcome
+            if on_outcome is not None:
+                on_outcome(outcome)
+            if on_progress is not None:
+                elapsed = time.perf_counter() - t0
+                on_progress(
+                    ProgressEvent(
+                        kind="completed",
+                        cell=outcome.cell,
+                        completed=len(delivered),
+                        total=total,
+                        elapsed=elapsed,
+                        eta=_eta(len(delivered), total, elapsed),
+                        ok=outcome.ok,
+                    )
+                )
+
+        for _ in range(workers):
+            spawn()
+        try:
+            while len(delivered) < total:
+                drain_shards()
+                retried, exhausted = board.expire_leases(
+                    self.max_attempts, self.backoff_seconds
+                )
+                for idx, attempts in retried:
+                    self._emit(
+                        "cell_retried", {"index": idx, "attempts": attempts}
+                    )
+                for idx, attempts in exhausted:
+                    if idx not in delivered:
+                        deliver(_lost_outcome(cells_by_index[idx], attempts))
+                self._recover_corrupted(board, delivered, drain_shards, deliver,
+                                        cells_by_index)
+                # Reap dead hosts; replace them while claimable work remains.
+                for worker_id, proc in list(procs.items()):
+                    if proc.is_alive():
+                        continue
+                    del procs[worker_id]
+                    kind = "worker_stopped" if proc.exitcode == 0 else "worker_lost"
+                    self._emit(
+                        kind, {"worker": worker_id, "exitcode": proc.exitcode}
+                    )
+                    if kind == "worker_lost" and restarts_left > 0:
+                        restarts_left -= 1
+                        spawn()
+                if len(delivered) >= total:
+                    break
+                if not procs:
+                    drain_shards()
+                    if len(delivered) >= total:
+                        break
+                    if board.unfinished() > 0 and restarts_left > 0:
+                        restarts_left -= 1
+                        spawn()
+                    elif board.unfinished() > 0:
+                        # Fleet gone, restart budget spent: declare the
+                        # remaining cells lost rather than spin forever.
+                        for cell in cells:
+                            if cell.index not in delivered:
+                                deliver(
+                                    _lost_outcome(
+                                        cell, board.attempts(cell.index)
+                                    )
+                                )
+                        break
+                    # unfinished == 0 with undelivered cells: the
+                    # corruption path above requeues them next pass.
+                time.sleep(self.poll_seconds)
+        finally:
+            # Workers drain the board and exit on their own once nothing
+            # is unfinished; report how each one ended.
+            for worker_id, proc in procs.items():
+                proc.join(timeout=10.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=10.0)
+                kind = "worker_stopped" if proc.exitcode == 0 else "worker_lost"
+                self._emit(kind, {"worker": worker_id, "exitcode": proc.exitcode})
+            board.close()
+            if owns_workdir:
+                shutil.rmtree(workdir, ignore_errors=True)
+        return [delivered[cell.index] for cell in cells]
+
+    def _recover_corrupted(
+        self,
+        board: JobBoard,
+        delivered: Dict[int, CellOutcome],
+        drain_shards: Callable[[], None],
+        deliver: Callable[[CellOutcome], None],
+        cells_by_index: Dict[int, SweepCell],
+    ) -> None:
+        """Requeue cells the board calls finished but no shard backs up.
+
+        A worker fsyncs the outcome line before marking the board, so a
+        terminal cell with no readable outcome means the shard line was
+        damaged.  One extra drain closes the mark-then-read race; cells
+        still missing are recomputed (or declared lost at the attempt
+        ceiling).
+        """
+        finished = board.indexes_in_state("done") | board.indexes_in_state("failed")
+        missing = [idx for idx in finished if idx not in delivered]
+        if not missing:
+            return
+        drain_shards()
+        for idx in missing:
+            if idx in delivered:
+                continue
+            attempts = board.attempts(idx)
+            if attempts >= self.max_attempts:
+                deliver(_lost_outcome(cells_by_index[idx], attempts))
+            else:
+                board.requeue(idx)
+                self._emit(
+                    "cell_retried",
+                    {"index": idx, "attempts": attempts, "corrupt": True},
+                )

@@ -423,14 +423,25 @@ def _make_serial(
     return SerialSweepExecutor()
 
 
+def _make_distributed(
+    workers: Optional[int] = None, chunk_size: Optional[int] = None
+) -> SweepExecutor:
+    # Imported lazily: distributed.py imports this module for the cell
+    # and executor types.
+    from repro.experiments.distributed import DistributedSweepExecutor
+
+    return DistributedSweepExecutor(workers=workers, chunk_size=chunk_size)
+
+
 _EXECUTORS: dict[str, Callable[..., SweepExecutor]] = {
     "serial": _make_serial,
     "process": ProcessSweepExecutor,
+    "distributed": _make_distributed,
 }
 
 
 def available_executors() -> tuple[str, ...]:
-    """The registered executor names (``serial``, ``process``)."""
+    """The registered executor names (``distributed``, ``process``, ``serial``)."""
     return tuple(sorted(_EXECUTORS))
 
 

@@ -40,9 +40,10 @@ from repro.experiments.parallel import (
 from repro.metrics.confidence import ConfidenceInterval, mean_confidence_interval
 from repro.metrics.stats import MetricsCollector, RunSummary
 from repro.protocols.registry import ProtocolSpec, protocol_spec
+from repro.results.backends import open_store
 from repro.results.fingerprint import cell_fingerprint, config_payload
 from repro.results.record import RunRecord
-from repro.results.store import RunStore
+from repro.results.store import BaseRunStore
 from repro.protocols.base import CCProtocol
 from repro.system.model import RTDBSystem
 from repro.system.resources import InfiniteResources, ResourceManager
@@ -333,7 +334,8 @@ def run_sweep(
     executor: "SweepExecutor | str | None" = None,
     workers: Optional[int] = None,
     on_progress: Optional[ProgressCallback] = None,
-    store: Union[RunStore, str, os.PathLike, None] = None,
+    store: Union[BaseRunStore, str, os.PathLike, None] = None,
+    store_backend: Optional[str] = None,
     scenario: Optional[str] = None,
     engine: Optional[str] = None,
     on_event: Optional[Callable] = None,
@@ -375,16 +377,25 @@ def run_sweep(
             before each run under the serial executor, and as cells complete
             under the process executor (workers start cells remotely).
         executor: A :class:`SweepExecutor` instance, a registry name
-            (``"serial"``/``"process"``), or ``None`` for the default
-            (serial, unless ``workers`` > 1 implies the process pool).
-        workers: Worker-process count for the process executor.
+            (``"serial"``/``"process"``/``"distributed"``), or ``None``
+            for the default (serial, unless ``workers`` > 1 implies the
+            process pool).
+        workers: Worker-process count for the process and distributed
+            executors.
         on_progress: Optional structured callback receiving
             :class:`~repro.experiments.parallel.ProgressEvent` ticks
             (e.g. a :class:`~repro.experiments.parallel.ProgressReporter`).
             With a store, ``completed``/``total`` count only the cells
             actually being run this invocation.
-        store: A :class:`~repro.results.store.RunStore` or a path to its
-            JSONL file (created on first append).
+        store: An open store (:class:`~repro.results.store.RunStore` or
+            :class:`~repro.results.sqlite_store.SQLiteRunStore`) or a
+            path, opened via :func:`~repro.results.backends.open_store`
+            (existing files are sniffed by content, new paths by
+            extension).
+        store_backend: Backend name from
+            :data:`~repro.results.backends.STORE_BACKENDS` forcing the
+            backend for a path-given ``store``; only meaningful with a
+            path.
         scenario: Scenario name recorded as metadata on stored records
             (:func:`~repro.experiments.figures.run_scenario` supplies it).
         engine: Simulation engine name (``"object"``/``"array"``;
@@ -419,6 +430,11 @@ def run_sweep(
             "fingerprint, so cached cells from a different resource model "
             "would be served silently"
         )
+    if store_backend is not None and store is None:
+        raise ConfigurationError(
+            "run_sweep(store_backend=...) needs store= (a path to open "
+            "with that backend)"
+        )
     rates = tuple(arrival_rates if arrival_rates is not None else config.arrival_rates)
     chosen = resolve_executor(executor, workers=workers)
     factories, spec_map = normalize_protocols(protocols)
@@ -438,6 +454,10 @@ def run_sweep(
     if on_event is not None:
         bus = EventBus()
         bus.subscribe(on_event)
+        if hasattr(chosen, "lifecycle_hook"):
+            # The distributed executor reports its worker fleet
+            # (spawn/stop/loss, lease-expiry retries) through this seam.
+            chosen.lifecycle_hook = bus.publish_lifecycle
 
     # One tensor set per (rate, replication) cell, shared across every
     # protocol of that cell: the workload depends only on those
@@ -520,8 +540,8 @@ def run_sweep(
                 tracer.close()
         return assemble_results(names, rates, config.replications, outcomes)
 
-    owns_store = not isinstance(store, RunStore)
-    run_store = RunStore(store) if owns_store else store
+    owns_store = not isinstance(store, BaseRunStore)
+    run_store = open_store(store, backend=store_backend)
     payload = config_payload(config)
     fingerprints = {
         cell.index: cell_fingerprint(

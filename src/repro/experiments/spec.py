@@ -66,6 +66,7 @@ _SPEC_KEYS = frozenset(
         "executor",
         "workers",
         "store",
+        "store_backend",
         "engine",
         "telemetry",
     }
@@ -97,9 +98,14 @@ class ExperimentSpec:
         warmup_commits: Commits excluded from metrics at run start.
         seed: Root RNG seed.
         executor: Default executor registry name (``"serial"`` /
-            ``"process"``).
-        workers: Default worker count for the process executor.
-        store: Default run-store path (JSONL).
+            ``"process"`` / ``"distributed"``).
+        workers: Default worker count for the process and distributed
+            executors.
+        store: Default run-store path.
+        store_backend: Default store backend
+            (:data:`~repro.results.backends.STORE_BACKENDS` name) for a
+            path-given store; ``None`` lets the path decide (existing
+            files are sniffed by content, new paths by extension).
         engine: Default simulation engine (``"object"`` / ``"array"``);
             ``None`` means the reference object engine.  Part of the
             execution policy, *not* of the experiment identity: engines
@@ -124,6 +130,7 @@ class ExperimentSpec:
     executor: Optional[str] = None
     workers: Optional[int] = None
     store: Optional[str] = None
+    store_backend: Optional[str] = None
     engine: Optional[str] = None
     telemetry: Optional[dict] = None
 
@@ -133,6 +140,14 @@ class ExperimentSpec:
                 f"unknown engine {self.engine!r}; choose from "
                 f"{list(ENGINE_NAMES)}"
             )
+        if self.store_backend is not None:
+            from repro.results.backends import STORE_BACKENDS
+
+            if self.store_backend not in STORE_BACKENDS:
+                raise ConfigurationError(
+                    f"unknown store backend {self.store_backend!r}; "
+                    f"choose from {list(STORE_BACKENDS)}"
+                )
         if self.telemetry is not None:
             if not isinstance(self.telemetry, dict):
                 raise ConfigurationError(
@@ -232,6 +247,7 @@ class ExperimentSpec:
             "executor": self.executor,
             "workers": self.workers,
             "store": self.store,
+            "store_backend": self.store_backend,
             "engine": self.engine,
             "telemetry": self.telemetry,
         }
@@ -291,6 +307,7 @@ class ExperimentSpec:
             executor=data.get("executor"),
             workers=data.get("workers"),
             store=data.get("store"),
+            store_backend=data.get("store_backend"),
             engine=data.get("engine"),
             telemetry=data.get("telemetry"),
         )
@@ -376,6 +393,7 @@ class ExperimentSpec:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         store: "str | os.PathLike | None" = None,
+        store_backend: Optional[str] = None,
         arrival_rates: Optional[Sequence[float]] = None,
         progress=None,
         on_progress=None,
@@ -388,8 +406,8 @@ class ExperimentSpec:
         """Execute the experiment through the sweep runner.
 
         Keyword arguments override the spec's own execution policy
-        (``executor``/``workers``/``store``/``engine``/``telemetry``)
-        for this invocation only;
+        (``executor``/``workers``/``store``/``store_backend``/
+        ``engine``/``telemetry``) for this invocation only;
         ``config_overrides`` pass to :meth:`to_config` (e.g.
         ``num_transactions=200`` for a smoke run).  A caller that
         already built the config (to print status from it, say) can pass
@@ -415,6 +433,11 @@ class ExperimentSpec:
             executor=executor if executor is not None else self.executor,
             workers=workers if workers is not None else self.workers,
             store=store if store is not None else self.store,
+            store_backend=(
+                store_backend
+                if store_backend is not None
+                else self.store_backend
+            ),
             engine=engine if engine is not None else self.engine,
             progress=progress,
             on_progress=on_progress,
@@ -509,6 +532,7 @@ class Experiment:
             "executor",
             "workers",
             "store",
+            "store_backend",
             "engine",
             "telemetry",
         ):
@@ -593,9 +617,22 @@ class Experiment:
         self._fields["workers"] = count
         return self
 
-    def store(self, path: Union[str, os.PathLike]) -> "Experiment":
-        """Set the default run-store path (makes runs resumable)."""
+    def store(
+        self,
+        path: Union[str, os.PathLike],
+        backend: Optional[str] = None,
+    ) -> "Experiment":
+        """Set the default run-store path (makes runs resumable).
+
+        Args:
+            path: The store file.
+            backend: Optional backend name (``"jsonl"``/``"sqlite"``);
+                omitted means the path decides (content sniffing for
+                existing files, extension for new ones).
+        """
         self._fields["store"] = os.fspath(path)
+        if backend is not None:
+            self._fields["store_backend"] = backend
         return self
 
     def engine(self, name: str) -> "Experiment":

@@ -6,8 +6,12 @@ The subsystem has three pieces:
   (stable hashes of config + workload spec + cell coordinates);
 * :mod:`repro.results.record` — the versioned :class:`RunRecord` schema
   with canonical dict/JSON round-trip;
-* :mod:`repro.results.store` — the append-only JSONL :class:`RunStore`
-  with atomic appends and corruption-tolerant reads.
+* :mod:`repro.results.store` / :mod:`repro.results.sqlite_store` — the
+  append-only JSONL :class:`RunStore` and the WAL-mode
+  :class:`SQLiteRunStore`, sharing last-wins index semantics over
+  :class:`~repro.results.store.BaseRunStore`;
+* :mod:`repro.results.backends` — :func:`open_store` (backend by name or
+  file sniffing) and :func:`merge_stores` for per-worker shards.
 
 ``run_sweep(..., store=path)`` looks completed cells up by fingerprint and
 skips them, appending fresh outcomes as they complete — a killed sweep
@@ -24,7 +28,14 @@ from repro.results.fingerprint import (
     digest,
 )
 from repro.results.record import RECORD_SCHEMA, RunRecord
-from repro.results.store import RunStore, write_json_atomic
+from repro.results.store import BaseRunStore, RunStore, write_json_atomic
+from repro.results.sqlite_store import SQLiteRunStore
+from repro.results.backends import (
+    STORE_BACKENDS,
+    merge_stores,
+    open_store,
+    store_class,
+)
 from repro.results.export import (
     CSV_COLUMNS,
     DIFF_METRICS,
@@ -35,19 +46,25 @@ from repro.results.export import (
 )
 
 __all__ = [
+    "BaseRunStore",
     "CSV_COLUMNS",
     "DIFF_METRICS",
     "RECORD_SCHEMA",
     "RunRecord",
     "RunStore",
+    "SQLiteRunStore",
+    "STORE_BACKENDS",
     "canonical_dumps",
     "cell_fingerprint",
     "config_fingerprint",
     "config_payload",
     "diff_records",
     "digest",
+    "merge_stores",
+    "open_store",
     "records_from_results",
     "records_to_json",
+    "store_class",
     "write_csv",
     "write_json_atomic",
 ]

@@ -1,0 +1,132 @@
+"""Store backend registry: open-by-name, file sniffing, and shard merge.
+
+Everything that takes a store *path* — ``run_sweep(store=...)``, the CLI
+``--store`` flags, the smoke scripts — funnels through
+:func:`open_store`, so backend selection lives in exactly one place:
+
+1. an explicit ``backend=`` name wins;
+2. an existing non-empty file is sniffed by content (SQLite's 16-byte
+   magic header), so resuming a store never depends on its extension;
+3. otherwise the path's extension decides (``.sqlite``/``.sqlite3``/
+   ``.db`` mean SQLite), defaulting to JSONL.
+
+:func:`merge_stores` combines per-worker shards into one store — the
+``results merge`` verb — by replaying shard records in order, skipping
+records the destination already holds verbatim, so merging is idempotent
+and last-wins resolution matches a single-store run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.results.sqlite_store import SQLiteRunStore
+from repro.results.store import BaseRunStore, PathLike, RunStore
+
+__all__ = ["STORE_BACKENDS", "merge_stores", "open_store", "store_class"]
+
+#: Registered store backend names, in default-preference order.
+STORE_BACKENDS = ("jsonl", "sqlite")
+
+_CLASSES = {"jsonl": RunStore, "sqlite": SQLiteRunStore}
+
+#: First bytes of every SQLite 3 database file.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+#: Path extensions that select the SQLite backend for new stores.
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def store_class(backend: str) -> type:
+    """The store class registered under ``backend``.
+
+    Raises:
+        ConfigurationError: For a name not in :data:`STORE_BACKENDS`.
+    """
+    try:
+        return _CLASSES[backend]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown store backend {backend!r} "
+            f"(choose from {', '.join(STORE_BACKENDS)})"
+        ) from None
+
+
+def sniff_backend(path: PathLike) -> str:
+    """Decide the backend for ``path`` without an explicit name.
+
+    An existing non-empty file is identified by content — the SQLite
+    magic header — so a store keeps opening correctly whatever it is
+    named.  New or empty paths fall back to the extension, defaulting
+    to JSONL.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(len(_SQLITE_MAGIC))
+    except OSError:
+        head = b""
+    if head:
+        return "sqlite" if head == _SQLITE_MAGIC else "jsonl"
+    if path.lower().endswith(_SQLITE_SUFFIXES):
+        return "sqlite"
+    return "jsonl"
+
+
+def open_store(
+    store: Union[PathLike, BaseRunStore], backend: Optional[str] = None
+) -> BaseRunStore:
+    """Open (or pass through) a run store.
+
+    Args:
+        store: A path to open, or an already-open store instance (which
+            is returned as-is).
+        backend: Optional backend name from :data:`STORE_BACKENDS`; when
+            omitted the path is sniffed via :func:`sniff_backend`.
+
+    Raises:
+        ConfigurationError: On an unknown backend name, or when an
+            explicit ``backend`` contradicts an already-open instance.
+    """
+    if isinstance(store, BaseRunStore):
+        if backend is not None and backend != store.backend:
+            raise ConfigurationError(
+                f"store {store.path!r} is already open as "
+                f"{store.backend!r}; cannot reopen as {backend!r}"
+            )
+        return store
+    if backend is None:
+        backend = sniff_backend(store)
+    return store_class(backend)(store)
+
+
+def merge_stores(
+    dest: BaseRunStore, sources: Iterable[BaseRunStore]
+) -> int:
+    """Append every shard record the destination does not already hold.
+
+    Records are replayed in each source's first-appended order, so
+    last-wins resolution matches a run that had written straight into
+    ``dest``.  A record the destination already stores verbatim is
+    skipped, making the merge idempotent — re-merging the same shard is
+    a no-op.
+
+    Args:
+        dest: The combined store (any backend).
+        sources: Shard stores to fold in, in precedence order — later
+            shards win where fingerprints collide with different
+            payloads.
+
+    Returns:
+        Number of records appended to ``dest``.
+    """
+    merged = 0
+    for source in sources:
+        for record in source.records():
+            if dest.get(record.fingerprint) == record:
+                continue
+            dest.append(record)
+            merged += 1
+    return merged

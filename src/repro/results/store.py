@@ -1,4 +1,4 @@
-"""Append-only JSONL store of run records, indexed by cell fingerprint.
+"""Append-only stores of run records, indexed by cell fingerprint.
 
 Design:
 
@@ -14,10 +14,13 @@ Design:
   counted in :attr:`RunStore.corrupt_lines` and skipped; the affected cell
   simply reruns and appends a fresh record.
 
-The store is deliberately *not* a database: a sweep grid tops out at
+The JSONL store is deliberately *not* a database: a sweep grid tops out at
 thousands of cells, each record is ~1 KB, and the whole index fits in
 memory.  JSONL keeps every record greppable, diffable, and recoverable
-with a text editor.
+with a text editor.  Sweeps that need many concurrent writer processes
+use :class:`~repro.results.sqlite_store.SQLiteRunStore`, which shares the
+:class:`BaseRunStore` index semantics over a WAL-mode SQLite file; both
+sit behind :func:`~repro.results.backends.open_store`.
 """
 
 from __future__ import annotations
@@ -31,7 +34,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.results.fingerprint import canonical_dumps
 from repro.results.record import RunRecord
 
-__all__ = ["RunStore", "write_json_atomic"]
+__all__ = ["BaseRunStore", "RunStore", "write_json_atomic"]
 
 PathLike = Union[str, os.PathLike]
 
@@ -64,53 +67,43 @@ def write_json_atomic(path: PathLike, payload: dict) -> None:
         raise
 
 
-class RunStore:
-    """Persistent, resumable collection of :class:`RunRecord` objects.
+class BaseRunStore:
+    """Shared last-wins fingerprint index behind every store backend.
 
-    Usable as a context manager; :meth:`close` releases the append handle
-    (records stay loaded).  Opening a nonexistent path starts an empty
-    store whose file materializes on first append.
+    Concrete backends (:class:`RunStore` for JSONL,
+    :class:`~repro.results.sqlite_store.SQLiteRunStore` for SQLite) own
+    the durable medium — :meth:`append` and :meth:`compact` — while this
+    base holds the index semantics every backend must agree on: records
+    keyed by fingerprint, last write wins, first-appended iteration
+    order, and :attr:`corrupt_lines` counting unreadable rows.
 
-    Args:
-        path: The JSONL file backing the store.  Parent directories are
-            created eagerly so the first append cannot fail on a missing
-            directory mid-sweep.
+    Attributes:
+        path: The file backing the store.
+        backend: Registry name of the backend (``"jsonl"``/``"sqlite"``).
+        corrupt_lines: Rows skipped as unreadable during the load.
     """
+
+    backend = "abstract"
 
     def __init__(self, path: PathLike) -> None:
         self.path = os.fspath(path)
         self._index: dict[str, RunRecord] = {}
         self._order: list[str] = []
         self.corrupt_lines = 0
-        self._handle = None
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
-        if os.path.exists(self.path):
-            self._load()
-
-    # ------------------------------------------------------------------
-    # loading
-    # ------------------------------------------------------------------
-
-    def _load(self) -> None:
-        with open(self.path, "rb") as fh:
-            raw = fh.read()
-        for line in raw.split(b"\n"):
-            if not line.strip():
-                continue
-            try:
-                record = RunRecord.from_dict(json.loads(line.decode("utf-8")))
-            except (ValueError, UnicodeDecodeError, ConfigurationError):
-                # Truncated tail of a killed append, or garbage: skip the
-                # line — the cell it held will simply be recomputed.
-                self.corrupt_lines += 1
-                continue
-            self._insert(record)
 
     def _insert(self, record: RunRecord) -> None:
         if record.fingerprint not in self._index:
             self._order.append(record.fingerprint)
         self._index[record.fingerprint] = record
+
+    def _check_record(self, record: RunRecord) -> None:
+        if not isinstance(record, RunRecord):
+            raise ConfigurationError(
+                f"{type(self).__name__}.append takes a RunRecord, "
+                f"got {type(record).__name__}"
+            )
 
     # ------------------------------------------------------------------
     # reading
@@ -138,15 +131,89 @@ class RunStore:
     # ------------------------------------------------------------------
 
     def append(self, record: RunRecord) -> None:
+        """Durably append one record and index it (backend-specific)."""
+        raise NotImplementedError
+
+    def extend(self, records: Iterable[RunRecord]) -> None:
+        """Append several records (each individually durable)."""
+        for record in records:
+            self.append(record)
+
+    def compact(self) -> int:
+        """Rewrite the medium keeping only current records (backend-specific)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources; the loaded index stays usable."""
+
+    def __enter__(self) -> "BaseRunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(path={self.path!r}, records={len(self)}, "
+            f"corrupt_lines={self.corrupt_lines})"
+        )
+
+
+class RunStore(BaseRunStore):
+    """Persistent, resumable collection of :class:`RunRecord` objects.
+
+    Usable as a context manager; :meth:`close` releases the append handle
+    (records stay loaded).  Opening a nonexistent path starts an empty
+    store whose file materializes on first append.
+
+    Args:
+        path: The JSONL file backing the store.  Parent directories are
+            created eagerly so the first append cannot fail on a missing
+            directory mid-sweep.
+    """
+
+    backend = "jsonl"
+
+    def __init__(self, path: PathLike) -> None:
+        super().__init__(path)
+        self._handle = None
+        if os.path.exists(self.path):
+            self._load()
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = RunRecord.from_dict(json.loads(line.decode("utf-8")))
+            except (ValueError, UnicodeDecodeError, ConfigurationError):
+                # Truncated tail of a killed append, or garbage: skip the
+                # line — the cell it held will simply be recomputed.
+                self.corrupt_lines += 1
+                continue
+            self._insert(record)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def append(self, record: RunRecord) -> None:
         """Durably append one record and index it.
 
         The line is flushed and fsync'd before the index updates, so a
         record the in-memory index reports is guaranteed to be on disk.
         """
-        if not isinstance(record, RunRecord):
-            raise ConfigurationError(
-                f"RunStore.append takes a RunRecord, got {type(record).__name__}"
-            )
+        self._check_record(record)
         if self._handle is None:
             self._handle = self._open_for_append()
         line = canonical_dumps(record.to_dict())
@@ -176,10 +243,43 @@ class RunStore:
             handle.write("\n")
         return handle
 
-    def extend(self, records: Iterable[RunRecord]) -> None:
-        """Append several records (each individually durable)."""
-        for record in records:
-            self.append(record)
+    def compact(self) -> int:
+        """Atomically rewrite the file with only the current records.
+
+        Superseded appends (older last-wins generations) and corrupt
+        lines are dropped; the surviving records keep their
+        first-appended order, so a reload reads back bit-identically.
+        The rewrite goes through a same-directory temp file and
+        ``os.replace``, so a crash mid-compaction leaves the old file
+        intact.
+
+        Returns:
+            Number of lines dropped from the file.
+        """
+        self.close()
+        before = 0
+        if os.path.exists(self.path):
+            with open(self.path, "rb") as fh:
+                before = sum(1 for line in fh.read().split(b"\n") if line.strip())
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(self.path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for record in self.records():
+                    fh.write(canonical_dumps(record.to_dict()) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.corrupt_lines = 0
+        return before - len(self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -190,15 +290,3 @@ class RunStore:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
-
-    def __enter__(self) -> "RunStore":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def __repr__(self) -> str:
-        return (
-            f"RunStore(path={self.path!r}, records={len(self)}, "
-            f"corrupt_lines={self.corrupt_lines})"
-        )

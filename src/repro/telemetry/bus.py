@@ -23,8 +23,19 @@ if TYPE_CHECKING:  # import-light: only for annotations
 
 __all__ = ["SWEEP_EVENT_KINDS", "EventBus", "SweepEvent"]
 
-#: The sweep-level event taxonomy published by :class:`EventBus`.
-SWEEP_EVENT_KINDS = ("cell_started", "cell_completed", "cell_outcome")
+#: The sweep-level event taxonomy published by :class:`EventBus`.  The
+#: ``worker_*``/``cell_retried`` kinds are the distributed executor's
+#: fleet lifecycle (host spawn, clean drain, crash, lease-expiry retry);
+#: single-process executors never emit them.
+SWEEP_EVENT_KINDS = (
+    "cell_started",
+    "cell_completed",
+    "cell_outcome",
+    "worker_started",
+    "worker_stopped",
+    "worker_lost",
+    "cell_retried",
+)
 
 
 @dataclass(frozen=True)
@@ -120,3 +131,22 @@ class EventBus:
                 "message": outcome.error.message,
             }
         self.publish(SweepEvent(kind="cell_outcome", payload=payload))
+
+    def publish_lifecycle(self, kind: str, payload: Dict[str, Any]) -> None:
+        """Adapt one executor lifecycle event into a bus event.
+
+        The distributed executor's parent loop calls this (via its
+        ``lifecycle_hook``) for worker fleet moments — ``worker_started``
+        / ``worker_stopped`` / ``worker_lost`` and ``cell_retried``.
+        The payload is copied, so the executor may reuse its dict.
+
+        Raises:
+            ValueError: For a kind outside :data:`SWEEP_EVENT_KINDS` —
+                the taxonomy is closed so subscribers can switch on it.
+        """
+        if kind not in SWEEP_EVENT_KINDS:
+            raise ValueError(
+                f"unknown sweep event kind {kind!r} "
+                f"(choose from {SWEEP_EVENT_KINDS})"
+            )
+        self.publish(SweepEvent(kind=kind, payload=dict(payload)))

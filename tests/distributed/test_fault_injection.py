@@ -1,0 +1,242 @@
+"""Fault-injection harness for the distributed executor.
+
+Each test wounds the run somewhere specific — a host hard-killed
+mid-cell, a lease silently dropped, a shard line corrupted after the
+board said "done" — and asserts the same recovery contract: the sweep
+still completes, retries stay within ``max_attempts``, and the results
+are bit-identical to a cold serial run.
+
+The injection seams are the ones the executor exposes on purpose:
+``fault_hook(cell, attempt)`` runs in the worker right after a claim,
+and a caller-supplied ``workdir`` lets a test pre-seed board/shard state
+before the executor ever spawns a host.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.errors import SweepExecutionError
+from repro.experiments.config import baseline_config
+from repro.experiments.distributed import DistributedSweepExecutor, JobBoard
+from repro.experiments.runner import build_cells, run_sweep
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fault-injection tests need the fork start method",
+)
+
+SMALL = baseline_config(
+    num_transactions=60,
+    warmup_commits=6,
+    replications=2,
+    arrival_rates=(40.0, 90.0),
+    check_serializability=False,
+)
+PROTOCOLS = ["scc-2s", "occ-bc"]
+
+
+def _kill_once(marker_path):
+    """A hook that hard-kills the first host to claim anything."""
+
+    def hook(cell, attempt):
+        try:
+            fd = os.open(marker_path, os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            return  # somebody already died for the cause
+        os.close(fd)
+        os._exit(13)  # SIGKILL-style: no cleanup, no board updates
+
+    return hook
+
+
+def test_hard_killed_worker_is_bit_identical_to_serial(tmp_path):
+    serial = run_sweep(PROTOCOLS, SMALL, executor="serial")
+    events = []
+    executor = DistributedSweepExecutor(
+        workers=2,
+        lease_seconds=0.4,
+        poll_seconds=0.01,
+        max_attempts=3,
+        fault_hook=_kill_once(str(tmp_path / "killed")),
+    )
+    survived = run_sweep(PROTOCOLS, SMALL, executor=executor, on_event=events.append)
+    for name in serial:
+        assert serial[name].replications == survived[name].replications
+    kinds = [event.kind for event in events]
+    assert kinds.count("worker_lost") == 1
+    assert kinds.count("cell_retried") >= 1
+    # The dead host was replaced: more starts than the configured two.
+    assert kinds.count("worker_started") == 3
+    lost = next(e for e in events if e.kind == "worker_lost")
+    assert lost.payload["exitcode"] == 13
+    retried = next(e for e in events if e.kind == "cell_retried")
+    assert retried.payload["attempts"] == 1
+
+
+def test_dropped_lease_is_reclaimed_by_another_host(tmp_path):
+    # The first host to claim wedges (no heartbeat) long enough for its
+    # lease to lapse; the cell must be handed to a second host.
+    marker = str(tmp_path / "wedged")
+
+    def wedge_once(cell, attempt):
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            return
+        os.close(fd)
+        time.sleep(0.6)  # >> lease_seconds: the lease drops silently
+
+    events = []
+    executor = DistributedSweepExecutor(
+        workers=2,
+        lease_seconds=0.15,
+        poll_seconds=0.01,
+        max_attempts=3,
+        fault_hook=wedge_once,
+    )
+    executor.lifecycle_hook = lambda kind, payload: events.append((kind, payload))
+    cells = build_cells(["P"], [10.0, 20.0, 30.0], 1)
+    outcomes = executor.run(cells, lambda cell: cell.arrival_rate * 2)
+    assert [outcome.summary for outcome in outcomes] == [20.0, 40.0, 60.0]
+    assert all(outcome.ok for outcome in outcomes)
+    retried = [payload for kind, payload in events if kind == "cell_retried"]
+    assert len(retried) == 1
+    assert retried[0]["attempts"] == 1  # reclaimed as attempt 2
+    # No host died: the wedged worker woke up and kept serving.
+    assert not any(kind == "worker_lost" for kind, _ in events)
+
+
+def test_retries_are_bounded_and_surface_as_worker_lost(tmp_path):
+    # Every claim of cell 0 dies: the retry budget must run out and
+    # produce an error outcome instead of looping forever.
+    def kill_cell_zero(cell, attempt):
+        if cell.index == 0:
+            os._exit(13)
+
+    events = []
+    executor = DistributedSweepExecutor(
+        workers=1,
+        lease_seconds=0.15,
+        poll_seconds=0.01,
+        max_attempts=2,
+        fault_hook=kill_cell_zero,
+    )
+    executor.lifecycle_hook = lambda kind, payload: events.append((kind, payload))
+    cells = build_cells(["P"], [10.0, 20.0], 1)
+    outcomes = executor.run(cells, lambda cell: cell.arrival_rate)
+    assert not outcomes[0].ok
+    assert outcomes[0].error.exc_type == "WorkerLost"
+    assert "2 time(s)" in outcomes[0].error.message
+    assert outcomes[1].ok and outcomes[1].summary == 20.0
+    # Exactly max_attempts claims happened: one initial + one retry.
+    retried = [payload for kind, payload in events if kind == "cell_retried"]
+    assert len(retried) == 1
+    assert len([k for k, _ in events if k == "worker_lost"]) == 2
+
+
+def test_run_sweep_raises_on_an_exhausted_cell(tmp_path):
+    def kill_first_cell(cell, attempt):
+        if cell.index == 0:
+            os._exit(13)
+
+    executor = DistributedSweepExecutor(
+        workers=2,
+        lease_seconds=0.15,
+        poll_seconds=0.01,
+        max_attempts=2,
+        fault_hook=kill_first_cell,
+    )
+    with pytest.raises(SweepExecutionError, match="WorkerLost"):
+        run_sweep(["scc-2s"], SMALL, executor=executor)
+
+
+def test_deterministic_runner_errors_are_never_retried(tmp_path):
+    # A runner exception is the *code's* fault: retrying cannot help and
+    # would break parity with the serial executor. The touch-file proves
+    # the cell ran exactly once.
+    ran_marker = str(tmp_path / "cell-0-runs")
+
+    def runner(cell):
+        if cell.index == 0:
+            with open(ran_marker, "a") as fh:
+                fh.write("x\n")
+            raise ValueError("deterministic failure")
+        return cell.arrival_rate
+
+    executor = DistributedSweepExecutor(workers=2, lease_seconds=5.0, poll_seconds=0.01)
+    cells = build_cells(["P"], [10.0, 20.0], 1)
+    outcomes = executor.run(cells, runner)
+    assert not outcomes[0].ok
+    assert outcomes[0].error.exc_type == "ValueError"
+    assert outcomes[1].ok
+    with open(ran_marker) as fh:
+        assert fh.read() == "x\n"
+
+
+def test_corrupt_shard_line_is_requeued_and_recomputed(tmp_path):
+    # Worst-case corruption: the board says "done" but the only shard
+    # line for the cell is garbage. The parent must notice the outcome
+    # is unreadable, requeue the cell, and recompute it.
+    workdir = tmp_path / "work"
+    workdir.mkdir()
+    cells = build_cells(["P"], [10.0, 20.0, 30.0], 1)
+    board = JobBoard(workdir / "board.sqlite")
+    board.populate(cells)
+    claimed, attempt = board.claim("host-dead", lease_seconds=30.0)
+    assert claimed.index == 0 and attempt == 1
+    board.complete(0)
+    board.close()
+    with open(workdir / "outcomes-host-dead.jsonl", "w") as fh:
+        fh.write('{"index": 0, "attempt": 1, "ok": true, "summa\n')  # torn flush
+
+    events = []
+    executor = DistributedSweepExecutor(
+        workers=1,
+        lease_seconds=5.0,
+        poll_seconds=0.01,
+        max_attempts=3,
+        workdir=workdir,
+    )
+    executor.lifecycle_hook = lambda kind, payload: events.append((kind, payload))
+    outcomes = executor.run(cells, lambda cell: cell.arrival_rate * 2)
+    assert [outcome.summary for outcome in outcomes] == [20.0, 40.0, 60.0]
+    retried = [payload for kind, payload in events if kind == "cell_retried"]
+    assert any(payload.get("corrupt") for payload in retried)
+    # The caller-supplied workdir is preserved for post-mortems.
+    assert (workdir / "board.sqlite").exists()
+
+
+def test_corrupt_shard_with_no_attempts_left_is_lost(tmp_path):
+    # Same corruption, but the cell already burned its whole claim
+    # budget: recovery must give up with a WorkerLost outcome rather
+    # than loop.
+    workdir = tmp_path / "work"
+    workdir.mkdir()
+    cells = build_cells(["P"], [10.0, 20.0], 1)
+    board = JobBoard(workdir / "board.sqlite")
+    board.populate(cells)
+    for _ in range(2):  # burn the budget: claim, expire, reclaim
+        claimed, _ = board.claim("host-dead", lease_seconds=0.01)
+        assert claimed.index == 0
+        time.sleep(0.02)
+        board.requeue(0)
+    board.claim("host-dead", lease_seconds=30.0)
+    board.complete(0)
+    board.close()
+    with open(workdir / "outcomes-host-dead.jsonl", "w") as fh:
+        fh.write("garbage\n")
+
+    executor = DistributedSweepExecutor(
+        workers=1,
+        lease_seconds=5.0,
+        poll_seconds=0.01,
+        max_attempts=3,
+        workdir=workdir,
+    )
+    outcomes = executor.run(cells, lambda cell: cell.arrival_rate)
+    assert not outcomes[0].ok
+    assert outcomes[0].error.exc_type == "WorkerLost"
+    assert outcomes[1].ok and outcomes[1].summary == 20.0

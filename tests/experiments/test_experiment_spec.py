@@ -14,6 +14,7 @@ from repro.experiments.runner import normalize_protocols, run_sweep
 from repro.experiments.spec import SPEC_SCHEMA, Experiment, ExperimentSpec
 from repro.protocols.occ_bc import OCCBroadcastCommit
 from repro.protocols.registry import ProtocolSpec, parse_protocol_spec
+from repro.results.backends import open_store
 from repro.results.store import RunStore
 from repro.workloads.scenarios import available_scenarios, get_scenario
 
@@ -412,3 +413,59 @@ def test_builder_constructors_refuse_mid_chain_calls():
 def test_rates_step_rejects_swapped_bounds():
     with pytest.raises(ConfigurationError, match="start <= stop"):
         Experiment.baseline().rates(160, 40, step=20)
+
+
+class TestStoreBackend:
+    def test_round_trips_through_json(self):
+        spec = small_spec(store="runs.data", store_backend="sqlite")
+        rebuilt = ExperimentSpec.from_dict(json.loads(spec.to_json()))
+        assert rebuilt == spec
+        assert rebuilt.store_backend == "sqlite"
+
+    def test_defaults_to_none(self):
+        spec = small_spec(store="runs.jsonl")
+        assert spec.store_backend is None
+        assert "store_backend" in spec.to_dict()
+
+    def test_rejects_unknown_backends(self):
+        with pytest.raises(ConfigurationError, match="store backend"):
+            small_spec(store="runs.data", store_backend="parquet")
+
+    def test_builder_sets_backend_with_store(self):
+        spec = (
+            Experiment.baseline()
+            .protocols("occ")
+            .store("runs.data", backend="sqlite")
+            .build()
+        )
+        assert spec.store == "runs.data"
+        assert spec.store_backend == "sqlite"
+        assert Experiment.from_spec(spec).build() == spec
+
+    def test_run_creates_the_requested_backend(self, tmp_path):
+        path = str(tmp_path / "runs.data")
+        spec = small_spec(
+            replications=1,
+            arrival_rates=(60.0,),
+            protocols=("scc-2s",),
+            store=path,
+            store_backend="sqlite",
+        )
+        spec.run()
+        store = open_store(path)
+        assert store.backend == "sqlite"
+        assert len(store) == 1
+        store.close()
+
+    def test_run_override_beats_the_spec_field(self, tmp_path):
+        path = str(tmp_path / "runs.data")
+        spec = small_spec(
+            replications=1,
+            arrival_rates=(60.0,),
+            protocols=("scc-2s",),
+            store=path,
+        )
+        spec.run(store_backend="sqlite")
+        store = open_store(path)
+        assert store.backend == "sqlite"
+        store.close()

@@ -60,7 +60,7 @@ def test_zero_chunk_size_rejected():
 
 
 def test_registry_names():
-    assert available_executors() == ("process", "serial")
+    assert available_executors() == ("distributed", "process", "serial")
     assert isinstance(make_executor("serial"), SerialSweepExecutor)
     assert isinstance(make_executor("process", workers=2), ProcessSweepExecutor)
     with pytest.raises(ConfigurationError):

@@ -1,0 +1,232 @@
+"""SQLite-backend-specific store tests: pragmas, sniffing, concurrency.
+
+The shared backend contract lives in ``tests/results/test_store_contract.py``;
+here we pin down what only the SQLite backend promises: WAL mode,
+backend selection in :func:`repro.results.backends.open_store`,
+multi-process writers against one file, kill-safety (no torn records,
+ever — the recovery story the JSONL store approximates with torn-tail
+skipping), and raw-row corruption handling.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import sqlite3
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.results import RunStore, SQLiteRunStore, diff_records, open_store
+from repro.results.backends import sniff_backend
+
+from tests.results.test_record import make_record
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="multi-process store tests need the fork start method",
+)
+
+_mp = multiprocessing.get_context("fork")
+
+
+# ----------------------------------------------------------------------
+# pragmas and backend selection
+# ----------------------------------------------------------------------
+
+
+def test_store_runs_in_wal_mode(tmp_path):
+    store = SQLiteRunStore(tmp_path / "runs.sqlite")
+    (mode,) = store._connect().execute("PRAGMA journal_mode").fetchone()
+    assert mode == "wal"
+    store.close()
+
+
+def test_open_store_defaults_to_jsonl(tmp_path):
+    store = open_store(tmp_path / "runs.jsonl")
+    assert isinstance(store, RunStore)
+    store.close()
+
+
+def test_open_store_picks_sqlite_by_extension(tmp_path):
+    for suffix in (".sqlite", ".sqlite3", ".db"):
+        store = open_store(tmp_path / f"runs{suffix}")
+        assert isinstance(store, SQLiteRunStore), suffix
+        store.close()
+
+
+def test_open_store_sniffs_existing_sqlite_file_despite_extension(tmp_path):
+    path = tmp_path / "runs.jsonl"  # lying extension
+    with SQLiteRunStore(path) as store:
+        store.append(make_record())
+    assert sniff_backend(path) == "sqlite"
+    reopened = open_store(path)
+    assert isinstance(reopened, SQLiteRunStore)
+    assert len(reopened) == 1
+    reopened.close()
+
+
+def test_open_store_explicit_backend_beats_sniffing(tmp_path):
+    store = open_store(tmp_path / "runs.jsonl", backend="sqlite")
+    assert isinstance(store, SQLiteRunStore)
+    store.close()
+
+
+def test_open_store_passes_instances_through(tmp_path):
+    store = SQLiteRunStore(tmp_path / "runs.sqlite")
+    assert open_store(store) is store
+    assert open_store(store, backend="sqlite") is store
+    with pytest.raises(ConfigurationError, match="jsonl"):
+        open_store(store, backend="jsonl")
+    store.close()
+
+
+def test_open_store_rejects_unknown_backend(tmp_path):
+    with pytest.raises(ConfigurationError, match="unknown store backend"):
+        open_store(tmp_path / "runs.jsonl", backend="parquet")
+
+
+def test_opening_a_non_sqlite_file_raises_repro_error(tmp_path):
+    path = tmp_path / "runs.sqlite"
+    path.write_text("this is definitely not a database\n" * 10)
+    with pytest.raises(ReproError, match="SQLite run store"):
+        SQLiteRunStore(path)
+
+
+# ----------------------------------------------------------------------
+# raw-row corruption (at-rest damage)
+# ----------------------------------------------------------------------
+
+
+def test_corrupt_payload_rows_are_counted_and_skipped(tmp_path):
+    path = tmp_path / "runs.sqlite"
+    with SQLiteRunStore(path) as store:
+        store.append(make_record())
+    conn = sqlite3.connect(path)
+    conn.execute(
+        "INSERT INTO run_records (fingerprint, payload) VALUES (?, ?)",
+        ("ff" * 16, "{bit rot"),
+    )
+    conn.commit()
+    conn.close()
+    store = SQLiteRunStore(path)
+    assert store.corrupt_lines == 1
+    assert len(store) == 1
+    assert store.compact() == 1  # the corrupt row is reclaimed
+    assert store.corrupt_lines == 0
+    store.close()
+    assert SQLiteRunStore(path).corrupt_lines == 0
+
+
+# ----------------------------------------------------------------------
+# multi-process writers
+# ----------------------------------------------------------------------
+
+
+def _writer(path, writer_id, fingerprints, barrier):
+    """Append one record per fingerprint; elapsed encodes the writer."""
+    store = SQLiteRunStore(path)
+    barrier.wait()
+    for fingerprint in fingerprints:
+        store.append(make_record(fingerprint=fingerprint, elapsed=float(writer_id)))
+    store.close()
+
+
+def test_concurrent_writers_with_overlapping_fingerprints(tmp_path):
+    path = tmp_path / "runs.sqlite"
+    fingerprints = [f"{i:02d}" * 16 for i in range(8)]
+    barrier = _mp.Barrier(3)
+    procs = [
+        _mp.Process(target=_writer, args=(path, wid, fingerprints, barrier))
+        for wid in range(3)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    store = SQLiteRunStore(path)
+    # Every append landed; no writes were lost to contention.
+    assert store.corrupt_lines == 0
+    conn = store._connect()
+    (rows,) = conn.execute("SELECT COUNT(*) FROM run_records").fetchone()
+    assert rows == 3 * len(fingerprints)
+    # The last-wins index resolves each overlapping fingerprint to a
+    # single winner, and the winner is whichever writer's row got the
+    # highest seq — i.e. index and table agree.
+    assert len(store) == len(fingerprints)
+    for fingerprint in fingerprints:
+        (last,) = conn.execute(
+            "SELECT payload FROM run_records WHERE fingerprint = ? "
+            "ORDER BY seq DESC LIMIT 1",
+            (fingerprint,),
+        ).fetchone()
+        assert store.get(fingerprint).elapsed == json.loads(last)["elapsed"]
+    # Apart from the writer-identifying elapsed, every writer wrote the
+    # same summaries, so the diff against a reference store is clean.
+    reference = [make_record(fingerprint=f) for f in fingerprints]
+    report = diff_records(store.records(), reference)
+    assert report["changed"] == []
+    assert report["identical"] == len(fingerprints)
+    assert report["only_a"] == report["only_b"] == []
+    store.close()
+
+
+def _doomed_writer(path, ready):
+    """Append records forever until SIGKILLed mid-stream."""
+    store = SQLiteRunStore(path)
+    i = 0
+    while True:
+        store.append(make_record(fingerprint=f"{i % 100:02d}" * 16, elapsed=9.0))
+        i += 1
+        if i == 5:
+            ready.set()
+
+
+def test_killed_writer_leaves_no_torn_records(tmp_path):
+    path = tmp_path / "runs.sqlite"
+    ready = _mp.Event()
+    proc = _mp.Process(target=_doomed_writer, args=(path, ready))
+    proc.start()
+    assert ready.wait(timeout=60)
+    time.sleep(0.05)  # let it get deeper into the append loop
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=60)
+    store = SQLiteRunStore(path)
+    # Transactions mean the kill can only lose the in-flight append,
+    # never tear one: zero corrupt rows, and every surviving record is
+    # complete and parseable.
+    assert store.corrupt_lines == 0
+    assert len(store) >= 5
+    for record in store:
+        assert record.elapsed == 9.0
+    # The recovered store accepts fresh appends.
+    store.append(make_record(fingerprint="aa" * 16, elapsed=1.0))
+    store.close()
+    assert open_store(path).get("aa" * 16).elapsed == 1.0
+
+
+def test_reader_sees_consistent_snapshot_while_writer_appends(tmp_path):
+    path = tmp_path / "runs.sqlite"
+    with SQLiteRunStore(path) as store:
+        for i in range(4):
+            store.append(make_record(fingerprint=f"{i:02d}" * 16))
+    barrier = _mp.Barrier(2)
+    proc = _mp.Process(
+        target=_writer, args=(path, 7, [f"{i:02d}" * 16 for i in range(4, 8)], barrier)
+    )
+    proc.start()
+    barrier.wait()
+    # WAL readers never block on the writer and always see a complete
+    # prefix of the append sequence.
+    for _ in range(10):
+        snapshot = SQLiteRunStore(path)
+        assert snapshot.corrupt_lines == 0
+        assert 4 <= len(snapshot) <= 8
+        snapshot.close()
+    proc.join(timeout=60)
+    assert proc.exitcode == 0
+    final = SQLiteRunStore(path)
+    assert len(final) == 8
+    final.close()

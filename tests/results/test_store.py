@@ -1,35 +1,17 @@
-"""Tests for the JSONL RunStore: durability, indexing, corruption tolerance."""
+"""JSONL-specific RunStore tests: file layout, torn tails, corruption.
+
+The backend-agnostic store behaviour (append/get/last-wins/compact/...)
+is covered for every backend by ``tests/results/test_store_contract.py``;
+this module keeps only what is unique to the append-only JSONL file
+format.
+"""
 
 import json
 import os
 
-import pytest
-
-from repro.errors import ConfigurationError
 from repro.results.store import RunStore, write_json_atomic
 
 from tests.results.test_record import make_record
-
-
-def test_append_then_get(tmp_path):
-    store = RunStore(tmp_path / "runs.jsonl")
-    record = make_record()
-    store.append(record)
-    assert store.get(record.fingerprint) == record
-    assert record.fingerprint in store
-    assert len(store) == 1
-    assert list(store) == [record]
-
-
-def test_records_survive_reopen(tmp_path):
-    path = tmp_path / "runs.jsonl"
-    with RunStore(path) as store:
-        store.append(make_record(fingerprint="aa" * 16))
-        store.append(make_record(fingerprint="bb" * 16))
-    reopened = RunStore(path)
-    assert len(reopened) == 2
-    assert [r.fingerprint for r in reopened] == ["aa" * 16, "bb" * 16]
-    assert reopened.corrupt_lines == 0
 
 
 def test_missing_file_is_an_empty_store(tmp_path):
@@ -37,23 +19,6 @@ def test_missing_file_is_an_empty_store(tmp_path):
     store = RunStore(path)
     assert len(store) == 0
     assert not os.path.exists(path)  # file materializes on first append
-
-
-def test_parent_directories_are_created(tmp_path):
-    store = RunStore(tmp_path / "deep" / "nested" / "runs.jsonl")
-    store.append(make_record())
-    assert len(RunStore(tmp_path / "deep" / "nested" / "runs.jsonl")) == 1
-
-
-def test_last_record_wins_per_fingerprint(tmp_path):
-    path = tmp_path / "runs.jsonl"
-    store = RunStore(path)
-    store.append(make_record(elapsed=1.0))
-    store.append(make_record(elapsed=2.0))
-    assert len(store) == 1
-    assert store.records()[0].elapsed == 2.0
-    # The superseding record also wins after a reload.
-    assert RunStore(path).records()[0].elapsed == 2.0
 
 
 def test_truncated_last_line_is_tolerated(tmp_path):
@@ -103,10 +68,24 @@ def test_appending_after_recovery_keeps_the_store_readable(tmp_path):
     assert reopened.corrupt_lines == 1
 
 
-def test_append_rejects_non_records(tmp_path):
-    store = RunStore(tmp_path / "runs.jsonl")
-    with pytest.raises(ConfigurationError):
-        store.append({"schema": 1})
+def test_compact_rewrites_the_file_to_live_lines_only(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    store = RunStore(path)
+    store.append(make_record(elapsed=1.0))
+    store.append(make_record(elapsed=2.0))
+    store.close()
+    with open(path, "a") as fh:
+        fh.write("garbage that compaction should drop\n")
+    store = RunStore(path)
+    assert store.corrupt_lines == 1
+    dropped = store.compact()
+    assert dropped == 2  # one superseded record + one garbage line
+    assert store.corrupt_lines == 0
+    with open(path) as fh:
+        lines = [line for line in fh.read().split("\n") if line.strip()]
+    assert len(lines) == 1
+    assert json.loads(lines[0])["elapsed"] == 2.0
+    assert [p.name for p in tmp_path.iterdir()] == ["runs.jsonl"]  # no temp litter
 
 
 def test_write_json_atomic_replaces_whole_documents(tmp_path):

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.experiments.parallel import (
     CellError,
     CellOutcome,
@@ -108,3 +110,19 @@ def test_failed_outcomes_carry_error_details():
     assert payload["ok"] is False
     assert payload["summary"] is None
     assert payload["error"] == {"type": "ValueError", "message": "boom"}
+
+
+def test_publish_lifecycle_wraps_worker_events():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.publish_lifecycle("worker_started", {"worker": "host-0"})
+    bus.publish_lifecycle("worker_lost", {"worker": "host-0", "exitcode": 13})
+    assert [e.kind for e in seen] == ["worker_started", "worker_lost"]
+    assert seen[0].payload == {"worker": "host-0"}
+    assert all(e.kind in SWEEP_EVENT_KINDS for e in seen)
+
+
+def test_publish_lifecycle_rejects_unknown_kinds():
+    with pytest.raises(ValueError, match="unknown"):
+        EventBus().publish_lifecycle("worker_promoted", {})
