@@ -6,7 +6,11 @@ unless the two paths produce *identical* summaries (the array engine's
 core guarantee: batched mechanism can never leak into results).  A second
 pass sweeps every registered scenario under SCC-2S so each arrival
 process and access pattern (including the tensor fallback paths) is
-exercised.
+exercised.  A third pass runs a traced contended scenario through the
+array engine's vectorized shadow-pool path — first asserting the fused
+driver actually installed — and diffs the full typed trace stream against
+the object engine event by event, so a fast-path change that reorders or
+drops even one emission fails the smoke, not just the summary totals.
 
 Usage::
 
@@ -21,8 +25,12 @@ import argparse
 import sys
 import time
 
-from repro.experiments.runner import run_sweep
-from repro.protocols.registry import available_protocols
+from repro.core.scc_2s import SCC2S
+from repro.experiments.runner import run_instrumented, run_sweep
+from repro.metrics.stats import MetricsCollector
+from repro.protocols.registry import available_protocols, protocol_spec
+from repro.system.model import RTDBSystem
+from repro.telemetry.tracer import MemoryTracer
 from repro.workloads.scenarios import available_scenarios, get_scenario
 
 
@@ -83,6 +91,53 @@ def main(argv=None) -> int:
         arr = run_sweep({"SCC-2S": "scc-2s"}, config, engine="array")
         mismatches += _diff(f"{scenario}/SCC-2S", obj["SCC-2S"], arr["SCC-2S"])
     print(f"pass 2: {len(available_scenarios())} scenarios under SCC-2S")
+
+    # Pass 3: trace-stream parity through the vectorized shadow-pool
+    # path.  The probe system must report the fused driver installed —
+    # otherwise the "parity" below would vacuously compare the generic
+    # loop against itself.
+    config = get_scenario("flash-sale-hotspot").to_config(**scale)
+    probe = RTDBSystem(
+        protocol=SCC2S(),
+        num_pages=config.num_pages,
+        metrics=MetricsCollector(warmup_commits=config.warmup_commits),
+        record_history=False,
+        engine="array",
+    )
+    if getattr(probe.protocol, "fast_path", None) is None:
+        print("FAIL: fused shadow-pool driver did not install on the "
+              "array engine (pass 3 would be vacuous)")
+        return 1
+    traces = {}
+    for engine in ("object", "array"):
+        tracer = MemoryTracer()
+        summary, _ = run_instrumented(
+            protocol_spec("scc-2s"), config, arrival_rate=rates[-1],
+            engine=engine, tracer=tracer,
+        )
+        traces[engine] = (summary, tracer.dicts())
+    obj_summary, obj_events = traces["object"]
+    arr_summary, arr_events = traces["array"]
+    if not obj_events:
+        mismatches.append("traced/SCC-2S: object engine emitted no events")
+    if obj_summary != arr_summary:
+        mismatches.append(
+            f"traced/SCC-2S summary: object {obj_summary} != array {arr_summary}"
+        )
+    if obj_events != arr_events:
+        divergence = len(obj_events)
+        for i, (lhs, rhs) in enumerate(zip(obj_events, arr_events)):
+            if lhs != rhs:
+                divergence = i
+                break
+        mismatches.append(
+            f"traced/SCC-2S: trace streams diverge at event {divergence} "
+            f"(object {len(obj_events)} events, array {len(arr_events)})"
+        )
+    print(
+        f"pass 3: traced flash-sale-hotspot/SCC-2S, "
+        f"{len(obj_events)} events diffed across engines"
+    )
 
     if mismatches:
         print(f"FAIL: {len(mismatches)} engine mismatch(es):")

@@ -147,6 +147,22 @@ class ConflictTable:
             return True
         return False
 
+    def _sorted_records(self) -> list[ConflictRecord]:
+        """The cached (first_pos, writer)-sorted records.
+
+        Returns
+        -------
+        list of ConflictRecord
+            The cache itself — callers must treat it as read-only.  The
+            rebuild-speculation hot path borrows this to skip the
+            defensive copy :meth:`records` makes.
+        """
+        if self._sorted is None:
+            self._sorted = sorted(
+                self._records.values(), key=lambda r: (r.first_pos, r.writer)
+            )
+        return self._sorted
+
     def records(self) -> list[ConflictRecord]:
         """Return all records, ordered by first conflict position then writer id.
 
@@ -156,11 +172,7 @@ class ConflictTable:
             A fresh list (safe to mutate); the underlying sort is cached
             until the table changes.
         """
-        if self._sorted is None:
-            self._sorted = sorted(
-                self._records.values(), key=lambda r: (r.first_pos, r.writer)
-            )
-        return list(self._sorted)
+        return list(self._sorted_records())
 
 
 class AccessIndex:

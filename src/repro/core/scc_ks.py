@@ -86,16 +86,24 @@ class SCCkS(SCCProtocolBase):
         list of int
             Writer ids to keep speculative shadows for, in spawn order.
         """
-        budget = self.budget_for(runtime.spec)
+        if self._k_for is None:
+            # Static k (validated >= 1 at construction): skip the
+            # per-call budget_for validation on the rebuild hot path.
+            k = self.k
+            budget = None if k is None else k - 1
+        else:
+            budget = self.budget_for(runtime.spec)
         if budget == 0:
             return []
-        records = runtime.conflicts.records()
-        # Fast path: ConflictTable.records() is already sorted by
-        # (first_pos, writer), which is exactly LBFO's order — skip the
-        # redundant re-sort on the default policy.
+        # Fast path: the conflict table's cached sort is by
+        # (first_pos, writer), which is exactly LBFO's order — borrow it
+        # read-only and skip both the re-sort and the defensive copy on
+        # the default policy.
         if type(self.replacement) is LatestBlockedFirstOut:
+            records = runtime.conflicts._sorted_records()
             selected = records if budget is None else records[:budget]
         else:
+            records = runtime.conflicts.records()
             now = self.system.sim.now if self.system is not None else 0.0
             selected = self.replacement.select(runtime, records, budget, self, now)
         return [record.writer for record in selected]

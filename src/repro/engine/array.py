@@ -139,7 +139,9 @@ class ArraySimulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self._times: list[float] = []  # heap of distinct bucket times
-        self._buckets: dict[float, list[tuple]] = {}
+        # A bucket is a bare entry tuple for the (dominant) one-event
+        # instant, upgraded to a list of entries on same-time collision.
+        self._buckets: dict[float, "list[tuple] | tuple"] = {}
         self._stragglers: list[tuple] = []  # heap, only during a drain
         self._tracks: list[_ArrivalTrack] = []
         self._cancelled: set[int] = set()
@@ -203,12 +205,16 @@ class ArraySimulator:
         if time == self._drain_time:
             heappush(self._stragglers, entry)
         else:
-            bucket = self._buckets.get(time)
+            buckets = self._buckets
+            bucket = buckets.get(time)
             if bucket is None:
-                self._buckets[time] = [entry]
+                # Bare entry: no wrapping list until a collision.
+                buckets[time] = entry
                 heappush(self._times, time)
-            else:
+            elif type(bucket) is list:
                 bucket.append(entry)
+            else:
+                buckets[time] = [bucket, entry]
         return entry
 
     def schedule_at(
@@ -259,12 +265,16 @@ class ArraySimulator:
             # interleave by (priority, sequence) with the bucket remainder.
             heappush(self._stragglers, entry)
         else:
-            bucket = self._buckets.get(time)
+            buckets = self._buckets
+            bucket = buckets.get(time)
             if bucket is None:
-                self._buckets[time] = [entry]
+                # Bare entry: no wrapping list until a collision.
+                buckets[time] = entry
                 heappush(self._times, time)
-            else:
+            elif type(bucket) is list:
                 bucket.append(entry)
+            else:
+                buckets[time] = [bucket, entry]
         return entry
 
     def schedule_batch(
@@ -402,51 +412,56 @@ class ArraySimulator:
         limit = float("inf") if until is None else until
         metered = self.metered
         peak = self.peak_pending
+        # The earliest pending track time is cached across iterations:
+        # schedule_batch refuses to add tracks mid-run and cursors only
+        # advance in the merge below, so the head goes stale exactly when
+        # an instant equal to it is consumed — recomputing there (once
+        # per track-bearing instant) replaces the per-event track scan.
+        track_time = self._next_track_time()
         try:
             while fired < budget:
-                # Track machinery only engages when arrival tracks exist;
-                # the pure-schedule case (every event loop in the
-                # protocol layer) pays one truthiness check for it.
-                if self._tracks:
-                    bucket_time = times[0] if times else None
-                    track_time = self._next_track_time()
-                    if bucket_time is not None and (
-                        track_time is None or bucket_time <= track_time
-                    ):
+                # Track machinery only engages while arrival tracks have
+                # pending entries; the pure-schedule case (every event
+                # loop in the protocol layer) pays one None check for it.
+                if track_time is not None:
+                    if times and times[0] <= track_time:
                         t = heappop(times)
                         entries = buckets.pop(t)
-                    elif track_time is not None:
+                    else:
                         t = track_time
                         entries = []
-                    else:
-                        break
                     if t > limit:
                         if entries:
                             buckets[t] = entries
                             heappush(times, t)
                         break
-                    # Merge in every track entry due at exactly this instant.
-                    for track in self._tracks:
-                        track_times = track.times
-                        cursor = track.cursor
-                        end = len(track_times)
-                        if cursor >= end or track_times[cursor] != t:
-                            continue
-                        track_priority = track.priority
-                        track_base = track.base
-                        track_callback = track.callback
-                        track_payloads = track.payloads
-                        while cursor < end and track_times[cursor] == t:
-                            entries.append(
-                                (
-                                    track_priority,
-                                    track_base + cursor,
-                                    track_callback,
-                                    track_payloads[cursor],
+                    if t == track_time:
+                        # Merge in every track entry due at exactly this
+                        # instant, then refresh the cached head.
+                        if type(entries) is not list:
+                            entries = [entries]
+                        for track in self._tracks:
+                            track_times = track.times
+                            cursor = track.cursor
+                            end = len(track_times)
+                            if cursor >= end or track_times[cursor] != t:
+                                continue
+                            track_priority = track.priority
+                            track_base = track.base
+                            track_callback = track.callback
+                            track_payloads = track.payloads
+                            while cursor < end and track_times[cursor] == t:
+                                entries.append(
+                                    (
+                                        track_priority,
+                                        track_base + cursor,
+                                        track_callback,
+                                        track_payloads[cursor],
+                                    )
                                 )
-                            )
-                            cursor += 1
-                        track.cursor = cursor
+                                cursor += 1
+                            track.cursor = cursor
+                        track_time = self._next_track_time()
                 else:
                     if not times:
                         break
@@ -458,12 +473,56 @@ class ArraySimulator:
                         break
                 self.now = t
                 self._drain_time = t
-                if len(entries) > 1:
+                # Single-entry instants dominate real runs (distinct
+                # continuous event times); such buckets arrive as a bare
+                # entry tuple, and firing it without the interleave
+                # machinery saves a loop setup (and a list) per event.
+                if type(entries) is not list:
+                    single = entries
+                elif len(entries) == 1:
+                    single = entries[0]
+                else:
+                    single = None
+                if single is not None and not stragglers:
+                    entry = single
+                    if cancelled and entry[1] in cancelled:
+                        cancelled.discard(entry[1])
+                        self._drain_time = None
+                        continue
+                    fired += 1
+                    entry[2](*entry[3])
+                    if metered:
+                        pending = self._live - fired
+                        if pending > peak:
+                            peak = pending
+                    if not stragglers:
+                        self._drain_time = None
+                        continue
+                    if fired >= budget:
+                        # Suspend mid-instant: the callback scheduled
+                        # same-time work that must survive for resume.
+                        rest = []
+                        while stragglers:
+                            rest.append(heappop(stragglers))
+                        rest.sort()
+                        buckets[t] = rest
+                        heappush(times, t)
+                        self._drain_time = None
+                        break
+                    entries = (entry,)
+                    count = 1
+                    index = 1
+                elif single is not None:
+                    # One entry, but stragglers must interleave with it.
+                    entries = (single,)
+                    count = 1
+                    index = 0
+                else:
+                    count = len(entries)
                     # Unique sequence numbers mean the comparison never
                     # reaches the callback element — the sort runs in C.
                     entries.sort()
-                index = 0
-                count = len(entries)
+                    index = 0
                 while True:
                     if not stragglers:
                         # Hot branch: nothing was scheduled for this very
@@ -492,7 +551,7 @@ class ArraySimulator:
                     if fired >= budget:
                         # Suspend mid-bucket: the remainder (bucket tail
                         # plus stragglers) goes back as a normal bucket.
-                        rest = entries[index:]
+                        rest = list(entries[index:])
                         while stragglers:
                             rest.append(heappop(stragglers))
                         if rest:

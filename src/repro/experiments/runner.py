@@ -50,6 +50,7 @@ from repro.system.resources import InfiniteResources, ResourceManager
 from repro.telemetry.bus import EventBus
 from repro.telemetry.counters import run_telemetry
 from repro.telemetry.tracer import JsonlTracer, Tracer
+from repro.txn.spec import TransactionSpec
 from repro.workloads.generator import build_generator
 
 ProtocolFactory = Callable[[], CCProtocol]
@@ -141,6 +142,7 @@ def run_instrumented(
     resources: Optional[ResourceFactory] = None,
     engine: Optional[str] = None,
     tensors: Optional[WorkloadTensors] = None,
+    workload: Optional[Sequence[TransactionSpec]] = None,
     tracer: Optional[Tracer] = None,
 ) -> tuple[RunSummary, dict]:
     """Run one complete simulation; return its summary and telemetry block.
@@ -165,6 +167,11 @@ def run_instrumented(
             engine (must match ``(config, arrival_rate, replication)``);
             computed on the fly when omitted.  Ignored by the object
             engine.
+        workload: Optional pre-materialized transaction specs for the
+            array engine (must match ``tensors``); skips the per-run
+            ``tensors.materialize()``.  The list is shallow-copied
+            before loading so no engine can alias a shared cache entry.
+            Ignored by the object engine.
         tracer: Optional :class:`~repro.telemetry.tracer.Tracer` sink
             receiving typed lifecycle events.  ``None`` disables tracing
             (the zero-cost default).  Tracing never affects results.
@@ -186,10 +193,18 @@ def run_instrumented(
     )
     started = time.perf_counter()
     if engine == "array":
-        if tensors is None:
-            streams = RandomStreams(config.seed).spawn(replication)
-            tensors = WorkloadTensors.from_config(config, arrival_rate, streams)
-        system.load_workload(tensors.materialize())
+        if workload is None:
+            if tensors is None:
+                streams = RandomStreams(config.seed).spawn(replication)
+                tensors = WorkloadTensors.from_config(
+                    config, arrival_rate, streams
+                )
+            workload = tensors.materialize()
+        else:
+            # Copy-on-load guard: the caller may be sharing one
+            # materialized list across many runs (run_sweep's cache).
+            workload = list(workload)
+        system.load_workload(workload)
     else:
         streams = RandomStreams(config.seed).spawn(replication)
         generator = build_generator(config, arrival_rate, streams)
@@ -213,6 +228,7 @@ def run_once(
     resources: Optional[ResourceFactory] = None,
     engine: Optional[str] = None,
     tensors: Optional[WorkloadTensors] = None,
+    workload: Optional[Sequence[TransactionSpec]] = None,
     tracer: Optional[Tracer] = None,
 ) -> RunSummary:
     """Run one complete simulation and return its summary.
@@ -228,6 +244,7 @@ def run_once(
         resources=resources,
         engine=engine,
         tensors=tensors,
+        workload=workload,
         tracer=tracer,
     )
     return summary
@@ -459,24 +476,34 @@ def run_sweep(
             # (spawn/stop/loss, lease-expiry retries) through this seam.
             chosen.lifecycle_hook = bus.publish_lifecycle
 
-    # One tensor set per (rate, replication) cell, shared across every
-    # protocol of that cell: the workload depends only on those
-    # coordinates.  The cache lives in this closure, so the process
-    # executor (fork start method) shares it per worker chunk while the
-    # serial path reuses every entry.
-    tensor_cache: dict[tuple[float, int], WorkloadTensors] = {}
+    # One tensor set per (rate, replication) cell — *with* its
+    # materialized spec list — shared across every protocol of that
+    # cell: the workload depends only on those coordinates.  Caching the
+    # materialized specs alongside the tensors means a cache hit skips
+    # both the tensor rebuild and the per-replication materialize();
+    # run_instrumented shallow-copies the list before loading, so no
+    # engine can mutate the shared entry.  The cache lives in this
+    # closure, so the process executor (fork start method) shares it per
+    # worker chunk while the serial path reuses every entry.
+    tensor_cache: dict[
+        tuple[float, int], tuple[WorkloadTensors, tuple[TransactionSpec, ...]]
+    ] = {}
 
     def run_cell(cell: SweepCell) -> tuple[RunSummary, dict]:
         tensors = None
+        workload = None
         if engine == "array":
             key = (cell.arrival_rate, cell.replication)
-            tensors = tensor_cache.get(key)
-            if tensors is None:
+            cached = tensor_cache.get(key)
+            if cached is None:
                 streams = RandomStreams(config.seed).spawn(cell.replication)
                 tensors = WorkloadTensors.from_config(
                     config, cell.arrival_rate, streams
                 )
-                tensor_cache[key] = tensors
+                workload = tuple(tensors.materialize())
+                tensor_cache[key] = (tensors, workload)
+            else:
+                tensors, workload = cached
         if tracer is not None:
             # One marker + a fresh lane numbering per cell, so each
             # cell's event stream is self-contained and reproducible.
@@ -498,6 +525,7 @@ def run_sweep(
             resources=resources,
             engine=engine,
             tensors=tensors,
+            workload=workload,
             tracer=tracer,
         )
 

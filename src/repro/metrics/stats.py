@@ -21,6 +21,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+
+import numpy as np
+
 from repro.errors import ProtocolError
 from repro.txn.spec import TransactionSpec
 
@@ -112,17 +115,44 @@ class RunSummary:
         return cls(**data)
 
 
+#: Rows per columnar commit chunk.  The tail row buffer is bounded at
+#: this size; each time it fills it is converted to one float64 chunk in
+#: a single C-level pass.
+_CHUNK_ROWS = 1024
+
+#: Column order of a commit chunk (all float64; ids/restart counts are
+#: integer-valued and exact well past any simulated transaction count).
+_COL_TXN_ID = 0
+_COL_ARRIVAL = 1
+_COL_DEADLINE = 2
+_COL_COMMIT = 3
+_COL_VALUE = 4
+_COL_VALUE_MAX = 5
+_COL_RESTARTS = 6
+_NUM_COLS = 7
+
+
 class MetricsCollector:
     """Accumulates per-transaction outcomes during a run.
 
     Transactions committed before ``warmup_commits`` completions are counted
     for progress but excluded from the summary statistics, the standard
     transient-removal discipline.
+
+    Storage is columnar: commit outcomes land in float64 chunks (plus a
+    class-name column) instead of per-commit :class:`CommitRecord`
+    objects — rows accumulate in a bounded buffer that is converted to a
+    chunk in one C-level pass each time it fills — and :meth:`summary`
+    aggregates over the concatenated columns.  The reductions deliberately run left-to-right
+    over Python floats in record order — the float-summation order is part
+    of the golden-gated result, so the columnar layout must reproduce the
+    exact bits the record-at-a-time collector produced.  The old
+    record-object view survives as the :attr:`records` property for
+    diagnostics.
     """
 
     def __init__(self, warmup_commits: int = 0) -> None:
         self.warmup_commits = warmup_commits
-        self.records: list[CommitRecord] = []
         self.total_committed = 0
         self.restarts = 0
         self.shadow_aborts = 0
@@ -130,6 +160,46 @@ class MetricsCollector:
         self.useful_work = 0.0
         self.deferred_commits = 0
         self._restart_counts: dict[int, int] = {}
+        self._chunks: list[np.ndarray] = []
+        self._tail: list[tuple] = []
+        self._class_names: list[str] = []
+
+    # ------------------------------------------------------------------
+    # columnar storage
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> list[CommitRecord]:
+        """Post-warmup commits as :class:`CommitRecord` objects.
+
+        A diagnostics/compatibility view materialized on demand from the
+        columnar buffers; the hot recording path never builds it.
+        """
+        columns = self._columns()
+        return [
+            CommitRecord(
+                txn_id=int(columns[i, _COL_TXN_ID]),
+                class_name=self._class_names[i],
+                arrival=float(columns[i, _COL_ARRIVAL]),
+                deadline=float(columns[i, _COL_DEADLINE]),
+                commit_time=float(columns[i, _COL_COMMIT]),
+                value_attained=float(columns[i, _COL_VALUE]),
+                value_max=float(columns[i, _COL_VALUE_MAX]),
+                restarts=int(columns[i, _COL_RESTARTS]),
+            )
+            for i in range(len(self._class_names))
+        ]
+
+    def _columns(self) -> np.ndarray:
+        """The rows of every chunk, concatenated in commit order."""
+        parts = list(self._chunks)
+        if self._tail or not parts:
+            parts.append(
+                np.array(self._tail, dtype=np.float64).reshape(-1, _NUM_COLS)
+            )
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts, axis=0)
 
     # ------------------------------------------------------------------
     # recording
@@ -159,66 +229,88 @@ class MetricsCollector:
         self.useful_work += work
         if self.total_committed <= self.warmup_commits:
             return
-        self.records.append(
-            CommitRecord(
-                txn_id=txn.txn_id,
-                class_name=txn.txn_class.name,
-                arrival=txn.arrival,
-                deadline=txn.deadline,
-                commit_time=commit_time,
-                value_attained=txn.value_function(commit_time),
-                value_max=txn.value_function.value,
-                restarts=self._restart_counts.get(txn.txn_id, 0),
+        tail = self._tail
+        if len(tail) == _CHUNK_ROWS:
+            self._chunks.append(np.array(tail, dtype=np.float64))
+            del tail[:]
+        value_function = txn.value_function
+        tail.append(
+            (
+                txn.txn_id,
+                txn.arrival,
+                txn.deadline,
+                commit_time,
+                value_function(commit_time),
+                value_function.value,
+                self._restart_counts.get(txn.txn_id, 0),
             )
         )
+        self._class_names.append(txn.txn_class.name)
 
     # ------------------------------------------------------------------
     # aggregation
     # ------------------------------------------------------------------
 
     def summary(self) -> RunSummary:
-        """Aggregate the recorded commits into a :class:`RunSummary`."""
-        records = self.records
-        n = len(records)
+        """Aggregate the recorded commits into a :class:`RunSummary`.
+
+        Elementwise terms (tardiness, response time) are computed as
+        float64 column operations — bitwise equal to the per-record
+        arithmetic they replace — while every *reduction* runs as a
+        left-to-right Python-float ``sum`` in commit order, because the
+        golden gate pins the summation order of the original
+        record-at-a-time collector.
+        """
+        n = len(self._class_names)
         if n == 0:
             raise ProtocolError("no committed transactions recorded after warmup")
-        late = [r for r in records if r.missed]
-        total_tardiness = sum(r.tardiness for r in late)
-        value_attained = sum(r.value_attained for r in records)
-        value_max = sum(r.value_max for r in records)
+        columns = self._columns()
+        deadline = columns[:, _COL_DEADLINE]
+        commit = columns[:, _COL_COMMIT]
+        late_mask = commit > deadline
+        late_count = int(np.count_nonzero(late_mask))
+        total_tardiness = sum((commit[late_mask] - deadline[late_mask]).tolist())
+        value_attained = sum(columns[:, _COL_VALUE].tolist())
+        value_max = sum(columns[:, _COL_VALUE_MAX].tolist())
+        response_total = sum((commit - columns[:, _COL_ARRIVAL]).tolist())
         return RunSummary(
             committed=n,
-            missed_ratio=100.0 * len(late) / n,
-            avg_tardiness_late=(total_tardiness / len(late)) if late else 0.0,
+            missed_ratio=100.0 * late_count / n,
+            avg_tardiness_late=(total_tardiness / late_count) if late_count else 0.0,
             avg_tardiness_all=total_tardiness / n,
             system_value=100.0 * value_attained / value_max if value_max > 0 else 0.0,
-            avg_response_time=sum(r.response_time for r in records) / n,
+            avg_response_time=response_total / n,
             restarts=self.restarts,
             shadow_aborts=self.shadow_aborts,
             wasted_work=self.wasted_work,
             useful_work=self.useful_work,
             deferred_commits=self.deferred_commits,
-            per_class_missed=self._per_class_missed(),
-            per_class_value=self._per_class_value(),
+            per_class_missed=self._per_class_missed(late_mask),
+            per_class_value=self._per_class_value(columns),
         )
 
-    def _per_class_missed(self) -> dict[str, float]:
-        by_class: dict[str, list[CommitRecord]] = {}
-        for record in self.records:
-            by_class.setdefault(record.class_name, []).append(record)
+    def _per_class_groups(self) -> dict[str, list[int]]:
+        # Buckets appear in first-commit order and hold row indices in
+        # commit order — both orders are part of the summary's identity
+        # (dict iteration and per-class summation order).
+        by_class: dict[str, list[int]] = {}
+        for i, name in enumerate(self._class_names):
+            by_class.setdefault(name, []).append(i)
+        return by_class
+
+    def _per_class_missed(self, late_mask: np.ndarray) -> dict[str, float]:
         return {
-            name: 100.0 * sum(1 for r in recs if r.missed) / len(recs)
-            for name, recs in by_class.items()
+            name: 100.0 * int(np.count_nonzero(late_mask[rows])) / len(rows)
+            for name, rows in self._per_class_groups().items()
         }
 
-    def _per_class_value(self) -> dict[str, float]:
-        by_class: dict[str, list[CommitRecord]] = {}
-        for record in self.records:
-            by_class.setdefault(record.class_name, []).append(record)
+    def _per_class_value(self, columns: np.ndarray) -> dict[str, float]:
         result = {}
-        for name, recs in by_class.items():
-            vmax = sum(r.value_max for r in recs)
+        for name, rows in self._per_class_groups().items():
+            vmax = sum(columns[rows, _COL_VALUE_MAX].tolist())
             result[name] = (
-                100.0 * sum(r.value_attained for r in recs) / vmax if vmax > 0 else 0.0
+                100.0 * sum(columns[rows, _COL_VALUE].tolist()) / vmax
+                if vmax > 0
+                else 0.0
             )
         return result

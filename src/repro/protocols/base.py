@@ -63,6 +63,19 @@ class ExecutionState(enum.Enum):
     ABORTED = "aborted"
 
 
+#: States in which an execution can still make progress or commit.  A
+#: module-level constant so the hot ``alive`` property tests membership
+#: without rebuilding the tuple on every call.
+_ALIVE_STATES = frozenset(
+    (
+        ExecutionState.READY,
+        ExecutionState.RUNNING,
+        ExecutionState.BLOCKED,
+        ExecutionState.FINISHED,
+    )
+)
+
+
 class Execution:
     """One replay of a transaction's program.
 
@@ -124,12 +137,7 @@ class Execution:
     @property
     def alive(self) -> bool:
         """Whether the execution can still make progress or commit."""
-        return self.state in (
-            ExecutionState.READY,
-            ExecutionState.RUNNING,
-            ExecutionState.BLOCKED,
-            ExecutionState.FINISHED,
-        )
+        return self.state in _ALIVE_STATES
 
     @property
     def done(self) -> bool:

@@ -1,0 +1,175 @@
+"""Bit-identity of the fused shadow-pool path under adversarial schedules.
+
+The fast path's contract is that summaries equal the object engine's
+``==`` — not approximately — on *every* workload, so these sweeps aim at
+the schedules most likely to expose an ordering or state-mirroring bug:
+
+* bursts of transactions arriving at literally the same instant (the
+  bucketed dispatch drains them as one cohort, and slot assignment,
+  conflict recording, and the Write Rule broadcast all happen inside a
+  single drain);
+* hotspot programs where every transaction hammers a few pages, maximizing
+  conflict-table and reverse-index traffic;
+* arrival bursts larger than the pool, forcing the exhaustion/growth path
+  mid-run (and, with a re-installed capacity-1 driver, repeatedly);
+* hypothesis-generated schedules mixing all of the above.
+
+Workloads are hand-built specs (no RNG), loaded into directly constructed
+systems so the exact same transaction list drives both engines.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scc_base import SCCProtocolBase
+from repro.engine.shadow_pool import maybe_install_fast_path
+from repro.metrics.stats import MetricsCollector
+from repro.protocols.registry import available_protocols, protocol_spec
+from repro.system.model import RTDBSystem
+from repro.txn.spec import Step, TransactionSpec
+from repro.values.classes import TransactionClass
+
+NUM_PAGES = 24
+
+BURST_CLASS = TransactionClass(
+    name="burst",
+    num_steps=4,
+    write_probability=0.25,
+    slack_factor=8.0,
+)
+
+
+def build_specs(schedule):
+    """Materialize ``(arrival, ((page, is_write), ...))`` rows as specs."""
+    return [
+        TransactionSpec.build(
+            txn_id=txn_id,
+            arrival=arrival,
+            steps=[Step(page, is_write) for page, is_write in steps],
+            txn_class=BURST_CLASS,
+            step_duration=0.006,
+        )
+        for txn_id, (arrival, steps) in enumerate(schedule)
+    ]
+
+
+def run_schedule(protocol_name, schedule, engine, capacity=None):
+    """Run a hand-built schedule on one engine; return (summary, protocol)."""
+    protocol = protocol_spec(protocol_name)()
+    system = RTDBSystem(
+        protocol=protocol,
+        num_pages=NUM_PAGES,
+        metrics=MetricsCollector(warmup_commits=0),
+        record_history=False,
+        engine=engine,
+    )
+    if capacity is not None and engine == "array":
+        assert maybe_install_fast_path(protocol, system, capacity=capacity)
+    system.load_workload(build_specs(schedule))
+    system.run()
+    return dataclasses.asdict(system.metrics.summary()), protocol
+
+
+def assert_parity(protocol_name, schedule, capacity=None):
+    obj_summary, _ = run_schedule(protocol_name, schedule, "object")
+    arr_summary, protocol = run_schedule(
+        protocol_name, schedule, "array", capacity=capacity
+    )
+    assert obj_summary == arr_summary
+    # The sweep must exercise the vectorized path, not fall back to the
+    # generic loop: every shipped SCC variant is eligible.
+    if isinstance(protocol, SCCProtocolBase):
+        assert protocol.fast_path is not None
+    return arr_summary, protocol
+
+
+# Three same-instant waves over a hot page set: wave 0 is a 6-transaction
+# simultaneous burst on overlapping read/write programs, wave 1 lands
+# while wave 0's shadows are mid-flight, wave 2 arrives as wave 1 commits.
+ADVERSARIAL_BURST = (
+    [(0.0, ((0, True), (1, False), (2, False))) for _ in range(3)]
+    + [(0.0, ((1, True), (0, False), (3, False))) for _ in range(3)]
+    + [(0.02, ((0, False), (1, True), (2, True))) for _ in range(4)]
+    + [(0.15, ((2, False), (3, True), (0, False))) for _ in range(4)]
+)
+
+
+@pytest.mark.parametrize("protocol", available_protocols())
+def test_every_protocol_bit_identical_on_same_instant_bursts(protocol):
+    assert_parity(protocol, ADVERSARIAL_BURST)
+
+
+def test_burst_larger_than_pool_grows_and_stays_identical():
+    # 80 simultaneous arrivals against a pool re-installed at capacity 16:
+    # every slot is claimed inside one bucket drain, the pool doubles
+    # (16 -> 32 -> 64 -> 128) mid-drain, and results must not move.
+    schedule = [
+        (0.0, ((txn % NUM_PAGES, txn % 4 == 0), ((txn + 7) % NUM_PAGES, False)))
+        for txn in range(80)
+    ]
+    summary, protocol = assert_parity("scc-2s", schedule, capacity=16)
+    pool = protocol.fast_path.pool
+    assert summary["committed"] == 80
+    assert pool.grow_events >= 1
+    assert pool.capacity >= 80
+    # Every transaction departed: all slots returned, mirrors cleared.
+    assert len(pool) == 0
+    assert pool.free_slots == pool.capacity
+    assert all(mask == 0 for mask in pool.read_masks)
+    assert all(mask == 0 for mask in pool.write_masks)
+
+
+def test_capacity_one_pool_grows_repeatedly_and_stays_identical():
+    _, protocol = assert_parity("scc-ks", ADVERSARIAL_BURST, capacity=1)
+    assert protocol.fast_path.pool.grow_events >= 3
+
+
+# ----------------------------------------------------------------------
+# hypothesis sweep: arbitrary same-instant schedules
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def adversarial_schedules(draw):
+    """Schedules with few distinct instants and a small hot page set.
+
+    Arrival times come from a coarse grid so multiple transactions share
+    instants by construction; pages come from an 8-page universe so the
+    conflict machinery is never idle.
+    """
+    num_txns = draw(st.integers(min_value=2, max_value=14))
+    num_instants = draw(st.integers(min_value=1, max_value=3))
+    rows = []
+    for _ in range(num_txns):
+        instant = draw(st.integers(min_value=0, max_value=num_instants - 1))
+        steps = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=7),
+                    st.booleans(),
+                ),
+                min_size=1,
+                max_size=5,
+            )
+        )
+        rows.append((instant * 0.017, tuple(steps)))
+    rows.sort(key=lambda row: row[0])
+    return rows
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    schedule=adversarial_schedules(),
+    protocol=st.sampled_from(["scc-2s", "scc-ks", "scc-vw", "2pl-pa"]),
+)
+def test_parity_holds_on_arbitrary_same_instant_schedules(schedule, protocol):
+    assert_parity(protocol, schedule)
+
+
+@settings(max_examples=10, deadline=None)
+@given(schedule=adversarial_schedules(), capacity=st.integers(1, 4))
+def test_parity_survives_tiny_pools(schedule, capacity):
+    assert_parity("scc-2s", schedule, capacity=capacity)
