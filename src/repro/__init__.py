@@ -103,17 +103,32 @@ from repro.telemetry import (
     Tracer,
     read_trace,
 )
+from repro.gateway import (
+    CircuitBreaker,
+    ClientQuotas,
+    GatewayApp,
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    QuotaExceeded,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BasicOCC",
+    "CircuitBreaker",
+    "ClientQuotas",
     "ConfigurationError",
     "DeadlineAwareReplacement",
     "DiurnalArrivals",
     "Experiment",
     "ExperimentSpec",
     "FiniteResources",
+    "GatewayApp",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayServer",
     "History",
     "HotspotAccess",
     "InfiniteResources",
@@ -129,6 +144,7 @@ __all__ = [
     "PoissonArrivals",
     "ProtocolError",
     "ProtocolSpec",
+    "QuotaExceeded",
     "RTDBSystem",
     "RandomStreams",
     "ReproError",

@@ -16,6 +16,7 @@ Installed as both ``scc-experiments`` and ``repro``.  Usage::
     scc-experiments results diff --store a.jsonl --against b.jsonl
     scc-experiments results merge --store all.sqlite --from shard0.jsonl,shard1.jsonl
     scc-experiments results compact --store runs.jsonl
+    repro serve --store runs.sqlite --port 8642 --workers 4
 
 Each figure command prints the series the corresponding paper figure
 plots, as a fixed-width table (one row per arrival rate, one column per
@@ -51,6 +52,16 @@ shared job board (see docs/ARCHITECTURE.md, "Distributed execution").
 status lines go to stderr).  The ``results`` subcommand lists, exports,
 diffs, merges (``merge --from shard,...``), and compacts stored runs
 without re-simulating anything.
+
+``repro serve`` runs the experiment gateway (:mod:`repro.gateway`): a
+long-running HTTP service accepting ``ExperimentSpec`` JSON on
+``POST /experiments``, deduplicating cells by fingerprint against the
+shared ``--store``, and streaming sweep events per experiment on
+``GET /experiments/{id}/events``.  ``--workers`` sizes the worker-thread
+pool, ``--max-queued-cells`` / ``--max-experiments`` set the per-client
+quotas, and ``--workdir`` persists the job board across restarts.
+SIGTERM drains gracefully (see docs/ARCHITECTURE.md, "Experiment
+gateway").
 
 Observability (see docs/ARCHITECTURE.md, "Telemetry & observability"):
 
@@ -590,6 +601,39 @@ def _run_spec(args: argparse.Namespace) -> str:
     return "\n\n".join(tables) + f"\n{status}"
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: run the experiment gateway until drained."""
+    from repro.gateway import ClientQuotas, GatewayApp
+    from repro.gateway.server import serve as _serve
+
+    if not args.store:
+        raise SystemExit(
+            "scc-experiments: error: serve needs --store PATH "
+            "(the shared run store every experiment reads and appends)"
+        )
+    store = _open_store_or_exit(args.store, args.store_backend)
+    quota_kwargs = {}
+    if args.max_queued_cells is not None:
+        quota_kwargs["max_queued_cells"] = args.max_queued_cells
+    if args.max_experiments is not None:
+        quota_kwargs["max_experiments"] = args.max_experiments
+    try:
+        quotas = ClientQuotas(**quota_kwargs)
+        app = GatewayApp(
+            store=store,
+            workers=args.workers if args.workers is not None else 2,
+            workdir=args.workdir,
+            quotas=quotas,
+        )
+    except (ValueError, ReproError) as exc:
+        raise SystemExit(f"scc-experiments: error: {exc}")
+    try:
+        _serve(app, host=args.host, port=args.port)
+    finally:
+        app.close()
+    return 0
+
+
 def _run_fig3(args: argparse.Namespace) -> str:
     if args.scenario is not None:
         # fig3 is an analytic shadow-count table; no workload is simulated.
@@ -715,9 +759,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         nargs="?",
         default="fig13a",
         choices=sorted(_FIGURES)
-        + ["fig3", "all", "scenarios", "specs", "run", "results", "trace"],
+        + ["fig3", "all", "scenarios", "specs", "run", "results", "trace",
+           "serve"],
         help="which figure to regenerate, 'run' to execute a JSON "
-        "experiment spec, 'scenarios'/'specs' to list the workload and "
+        "experiment spec, 'serve' to run the experiment gateway, "
+        "'scenarios'/'specs' to list the workload and "
         "protocol registries, 'results' to inspect a run store, or "
         "'trace' to inspect a JSONL trace file (default: fig13a)",
     )
@@ -791,6 +837,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="force the --store backend (default: sniff existing files by "
         "content, pick by extension for new paths — .sqlite/.sqlite3/.db "
         "mean sqlite, anything else jsonl)",
+    )
+    parser.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="serve: bind address for the gateway (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8642,
+        help="serve: bind port for the gateway (default: 8642; 0 picks "
+        "a free port)",
+    )
+    parser.add_argument(
+        "--workdir", type=str, default=None,
+        help="serve: directory for the gateway's job board (default: a "
+        "private temp dir; give a path to persist queue state across "
+        "restarts)",
+    )
+    parser.add_argument(
+        "--max-queued-cells", dest="max_queued_cells", type=int,
+        default=None,
+        help="serve: per-client ceiling on enqueued-but-unfinished cells "
+        "(default: 10000)",
+    )
+    parser.add_argument(
+        "--max-experiments", dest="max_experiments", type=int, default=None,
+        help="serve: per-client ceiling on concurrently running "
+        "experiments (default: 8)",
     )
     parser.add_argument(
         "--from", dest="merge_from", type=str, default=None,
@@ -873,6 +945,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"supported by the '{args.command}' command; run one figure at "
             "a time (or export from a --store via 'results export')"
         )
+    if (
+        args.max_queued_cells is not None or args.max_experiments is not None
+    ) and args.command != "serve":
+        raise SystemExit(
+            "scc-experiments: error: --max-queued-cells/--max-experiments "
+            "only apply to the serve command"
+        )
     if args.command == "results":
         output, code = _run_results(args)
         print(output)
@@ -880,6 +959,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "run":
         print(_run_spec(args))
         return 0
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "trace":
         print(_run_trace(args))
         return 0

@@ -108,12 +108,25 @@ class JobBoard:
         path: The SQLite file backing the board.
         busy_timeout: Seconds a statement waits on another participant's
             write lock.
+        cross_thread: Allow this connection to be used from threads other
+            than the opener (the experiment gateway's parent connection
+            serves submissions and drains from different threads, with
+            its own lock serializing access).  Per-worker connections
+            keep the default single-thread check.
     """
 
-    def __init__(self, path: "str | os.PathLike", busy_timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: "str | os.PathLike",
+        busy_timeout: float = 30.0,
+        cross_thread: bool = False,
+    ) -> None:
         self.path = os.fspath(path)
         self._conn = sqlite3.connect(
-            self.path, timeout=busy_timeout, isolation_level=None
+            self.path,
+            timeout=busy_timeout,
+            isolation_level=None,
+            check_same_thread=not cross_thread,
         )
         # The board is scratch state, rebuildable from the sweep grid:
         # NORMAL sync keeps claims cheap without risking record data.
@@ -132,6 +145,28 @@ class JobBoard:
             [(cell.index, json.dumps(asdict(cell), sort_keys=True)) for cell in cells],
         )
 
+    def add(self, index: int, payload: Dict[str, Any]) -> None:
+        """Insert one pending cell with an arbitrary JSON payload.
+
+        The sweep executors store bare :class:`SweepCell` dicts (see
+        :meth:`populate`); the experiment gateway stores richer payloads
+        (cell + owning experiment + fingerprint) and reads them back via
+        :meth:`claim_payload`.
+        """
+        self._conn.execute(
+            "INSERT OR IGNORE INTO cells (idx, payload) VALUES (?, ?)",
+            (index, json.dumps(payload, sort_keys=True)),
+        )
+
+    def max_index(self) -> int:
+        """The highest cell index on the board (``-1`` when empty).
+
+        The gateway allocates board-global indexes across experiments by
+        continuing from here when reopening a persisted board.
+        """
+        (value,) = self._conn.execute("SELECT MAX(idx) FROM cells").fetchone()
+        return -1 if value is None else int(value)
+
     # ------------------------------------------------------------------
     # the claim/lease protocol
     # ------------------------------------------------------------------
@@ -146,6 +181,22 @@ class JobBoard:
             1 — or ``None`` when nothing is claimable right now (empty
             board, every cell leased/finished, or retries still in
             backoff).
+        """
+        claimed = self.claim_payload(worker, lease_seconds)
+        if claimed is None:
+            return None
+        _index, payload, attempt = claimed
+        return SweepCell(**payload), attempt
+
+    def claim_payload(
+        self, worker: str, lease_seconds: float
+    ) -> Optional[tuple[int, Dict[str, Any], int]]:
+        """Like :meth:`claim`, but return the raw JSON payload.
+
+        Returns:
+            ``(index, payload, attempt)`` or ``None`` when nothing is
+            claimable.  This is the primitive for boards whose payloads
+            are not bare :class:`SweepCell` dicts (the gateway).
         """
         now = time.time()
         self._conn.execute("BEGIN IMMEDIATE")
@@ -169,7 +220,7 @@ class JobBoard:
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
-        return _cell_from_json(payload), attempts + 1
+        return idx, json.loads(payload), attempts + 1
 
     def heartbeat(self, worker: str, index: int, lease_seconds: float) -> bool:
         """Extend ``worker``'s lease on a cell it still holds.
@@ -294,10 +345,6 @@ class JobBoard:
     def close(self) -> None:
         """Close this participant's connection (the board file persists)."""
         self._conn.close()
-
-
-def _cell_from_json(payload: str) -> SweepCell:
-    return SweepCell(**json.loads(payload))
 
 
 # ----------------------------------------------------------------------

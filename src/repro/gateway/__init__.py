@@ -1,0 +1,52 @@
+"""Experiment gateway: the simulator as a long-running HTTP service.
+
+``repro serve`` turns the one-shot sweep pipeline into a multi-tenant
+service: clients POST :class:`~repro.experiments.spec.ExperimentSpec`
+JSON, the gateway validates it through the spec layer, deduplicates
+cells by fingerprint against the shared run store and other in-flight
+experiments, enqueues fresh cells on a SQLite job board, executes them
+on a worker pool, and streams each experiment's sweep events back as
+chunked JSON lines.
+
+The pieces:
+
+* :mod:`repro.gateway.app` — :class:`GatewayApp`, the HTTP-free core
+  (validation, dedup, board, workers, drain);
+* :mod:`repro.gateway.quotas` — per-client token-bucket admission
+  control (:class:`ClientQuotas`);
+* :mod:`repro.gateway.breaker` — the worker :class:`CircuitBreaker`
+  (park repeat offenders, degrade to partial results);
+* :mod:`repro.gateway.routes` / :mod:`repro.gateway.server` — the
+  transport (route table + asyncio HTTP server with SIGTERM drain);
+* :mod:`repro.gateway.client` — a stdlib :class:`GatewayClient`.
+
+See ``docs/ARCHITECTURE.md`` ("Experiment gateway") for the request
+lifecycle.
+"""
+
+from repro.gateway.app import (
+    EXPERIMENT_STATES,
+    GatewayApp,
+    GatewayDraining,
+    UnknownExperiment,
+)
+from repro.gateway.breaker import BREAKER_STATES, CircuitBreaker
+from repro.gateway.client import GatewayClient, GatewayError
+from repro.gateway.quotas import ClientQuotas, QuotaExceeded, TokenBucket
+from repro.gateway.server import GatewayServer, serve
+
+__all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "ClientQuotas",
+    "EXPERIMENT_STATES",
+    "GatewayApp",
+    "GatewayClient",
+    "GatewayDraining",
+    "GatewayError",
+    "GatewayServer",
+    "QuotaExceeded",
+    "TokenBucket",
+    "UnknownExperiment",
+    "serve",
+]

@@ -1,0 +1,149 @@
+"""Circuit breaker parking repeatedly failing gateway workers.
+
+The gateway's worker pool is long-lived, so one persistently failing
+worker (a poisoned environment, a leaked resource, a bad cell class it
+keeps drawing) must not grind through every queued cell turning each
+into an error.  The breaker tracks *consecutive* failures per worker:
+at ``failure_threshold`` the worker's circuit opens and the worker is
+**parked** — it stops claiming cells, and the cells it failed surface as
+error outcomes that degrade their experiments to *partial* results
+instead of failing whole sweeps (contrast
+:func:`~repro.experiments.runner.run_sweep`, which raises
+:class:`~repro.errors.SweepExecutionError` on any cell error).
+
+With ``cooldown_seconds`` set, an open circuit half-opens after the
+cooldown: the worker gets one probe claim, and a success closes the
+circuit while another failure re-opens it.  The gateway default
+(``cooldown_seconds=None``) parks permanently — a parked worker stays
+visible in ``GET /healthz`` until the operator restarts the service.
+
+Thread-safe; each worker thread records its own outcomes while the
+health endpoint snapshots states from the event-loop thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["BREAKER_STATES", "CircuitBreaker"]
+
+#: Per-worker circuit states: ``closed`` (healthy) -> ``open`` (parked)
+#: -> ``half_open`` (one probe allowed after the cooldown, if any).
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class _Circuit:
+    __slots__ = ("failures", "state", "opened_at", "trips")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.state = "closed"
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker keyed by worker id.
+
+    Args:
+        failure_threshold: Consecutive failures that open a circuit.
+        cooldown_seconds: Seconds an open circuit waits before allowing
+            one half-open probe; ``None`` means open circuits never
+            close on their own (permanent park until :meth:`reset`).
+        clock: Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds is not None and cooldown_seconds <= 0:
+            raise ValueError(
+                f"cooldown_seconds must be > 0 or None, got {cooldown_seconds}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._circuits: Dict[str, _Circuit] = {}
+        self._lock = threading.Lock()
+
+    def _circuit(self, key: str) -> _Circuit:
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            circuit = _Circuit()
+            self._circuits[key] = circuit
+        return circuit
+
+    def allow(self, key: str) -> bool:
+        """Whether ``key`` may take work right now.
+
+        An open circuit transitions to half-open (one probe) once the
+        cooldown elapses; without a cooldown it stays open forever.
+        """
+        with self._lock:
+            circuit = self._circuit(key)
+            if circuit.state == "closed":
+                return True
+            if circuit.state == "half_open":
+                return True
+            if (
+                self.cooldown_seconds is not None
+                and circuit.opened_at is not None
+                and self._clock() - circuit.opened_at >= self.cooldown_seconds
+            ):
+                circuit.state = "half_open"
+                return True
+            return False
+
+    def record_success(self, key: str) -> None:
+        """A cell completed OK: reset the failure streak, close the circuit."""
+        with self._lock:
+            circuit = self._circuit(key)
+            circuit.failures = 0
+            circuit.state = "closed"
+            circuit.opened_at = None
+
+    def record_failure(self, key: str) -> bool:
+        """Count one failure; returns ``True`` when this trip opened the circuit."""
+        with self._lock:
+            circuit = self._circuit(key)
+            circuit.failures += 1
+            if circuit.state == "half_open" or (
+                circuit.state == "closed"
+                and circuit.failures >= self.failure_threshold
+            ):
+                circuit.state = "open"
+                circuit.opened_at = self._clock()
+                circuit.trips += 1
+                return True
+            return False
+
+    def is_open(self, key: str) -> bool:
+        """Whether ``key``'s circuit is currently open (worker parked)."""
+        with self._lock:
+            circuit = self._circuits.get(key)
+            return circuit is not None and circuit.state == "open"
+
+    def reset(self, key: str) -> None:
+        """Force ``key``'s circuit closed (operator override)."""
+        self.record_success(key)
+
+    def snapshot(self) -> dict:
+        """JSON-ready circuit states (for the health endpoint)."""
+        with self._lock:
+            return {
+                key: {
+                    "state": circuit.state,
+                    "consecutive_failures": circuit.failures,
+                    "trips": circuit.trips,
+                }
+                for key, circuit in sorted(self._circuits.items())
+            }

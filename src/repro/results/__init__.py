@@ -32,6 +32,7 @@ from repro.results.store import BaseRunStore, RunStore, write_json_atomic
 from repro.results.sqlite_store import SQLiteRunStore
 from repro.results.backends import (
     STORE_BACKENDS,
+    AmbiguousStoreError,
     merge_stores,
     open_store,
     store_class,
@@ -46,6 +47,7 @@ from repro.results.export import (
 )
 
 __all__ = [
+    "AmbiguousStoreError",
     "BaseRunStore",
     "CSV_COLUMNS",
     "DIFF_METRICS",

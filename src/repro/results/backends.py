@@ -25,7 +25,13 @@ from repro.errors import ConfigurationError
 from repro.results.sqlite_store import SQLiteRunStore
 from repro.results.store import BaseRunStore, PathLike, RunStore
 
-__all__ = ["STORE_BACKENDS", "merge_stores", "open_store", "store_class"]
+__all__ = [
+    "AmbiguousStoreError",
+    "STORE_BACKENDS",
+    "merge_stores",
+    "open_store",
+    "store_class",
+]
 
 #: Registered store backend names, in default-preference order.
 STORE_BACKENDS = ("jsonl", "sqlite")
@@ -37,6 +43,33 @@ _SQLITE_MAGIC = b"SQLite format 3\x00"
 
 #: Path extensions that select the SQLite backend for new stores.
 _SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: Path extensions that select the JSONL backend for empty files.
+_JSONL_SUFFIXES = (".jsonl", ".json", ".ndjson")
+
+
+class AmbiguousStoreError(ConfigurationError, ValueError):
+    """An existing store file gives no signal which backend owns it.
+
+    Raised by :func:`sniff_backend` for a file that exists but is empty
+    and whose extension names no registered backend: its content cannot
+    be sniffed and silently defaulting could bind a long-running service
+    (the gateway opens its shared store this way at startup) to the
+    wrong backend for the store's whole life.  ``ValueError`` is in the
+    bases so callers treating bad paths as value errors catch it too.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__(
+            f"cannot infer a store backend for {path!r}: the file exists "
+            "but is empty (no content to sniff) and its extension names "
+            f"no backend (candidates: {', '.join(STORE_BACKENDS)}); pass "
+            "an explicit backend or use a recognized extension "
+            f"(sqlite: {', '.join(_SQLITE_SUFFIXES)}; "
+            f"jsonl: {', '.join(_JSONL_SUFFIXES)})"
+        )
+        self.path = path
+        self.candidates = STORE_BACKENDS
 
 
 def store_class(backend: str) -> type:
@@ -59,19 +92,29 @@ def sniff_backend(path: PathLike) -> str:
 
     An existing non-empty file is identified by content — the SQLite
     magic header — so a store keeps opening correctly whatever it is
-    named.  New or empty paths fall back to the extension, defaulting
-    to JSONL.
+    named.  New paths fall back to the extension, defaulting to JSONL.
+
+    Raises:
+        AmbiguousStoreError: For a file that exists but is *empty* with
+            an extension naming no backend — there is no content to
+            sniff and no declared intent, so guessing could silently
+            bind the caller to the wrong backend.
     """
     path = os.fspath(path)
+    exists = True
     try:
         with open(path, "rb") as fh:
             head = fh.read(len(_SQLITE_MAGIC))
     except OSError:
+        exists = False
         head = b""
     if head:
         return "sqlite" if head == _SQLITE_MAGIC else "jsonl"
-    if path.lower().endswith(_SQLITE_SUFFIXES):
+    lowered = path.lower()
+    if lowered.endswith(_SQLITE_SUFFIXES):
         return "sqlite"
+    if exists and not lowered.endswith(_JSONL_SUFFIXES):
+        raise AmbiguousStoreError(path)
     return "jsonl"
 
 

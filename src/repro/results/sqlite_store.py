@@ -87,8 +87,15 @@ class SQLiteRunStore(BaseRunStore):
             # isolation_level=None puts the connection in autocommit mode:
             # every INSERT is its own durable transaction, mirroring the
             # JSONL store's append-then-fsync contract.
+            # check_same_thread=False lets a multi-threaded owner (the
+            # experiment gateway's shared store) use one connection from
+            # worker threads; callers doing so must serialize access
+            # themselves, as the gateway does with its store lock.
             conn = sqlite3.connect(
-                self.path, timeout=self._busy_timeout, isolation_level=None
+                self.path,
+                timeout=self._busy_timeout,
+                isolation_level=None,
+                check_same_thread=False,
             )
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=FULL")

@@ -6,8 +6,9 @@ store's outcome hook for persistence).  The bus unifies them: every
 lifecycle moment of a sweep — a cell starting, completing, or yielding
 its outcome (with the run's ``telemetry`` block) — is published as one
 :class:`SweepEvent` whose payload is plain JSON-ready data.  This is the
-exact stream a future experiment gateway serializes to clients; today
-the CLI and tests subscribe to it via ``run_sweep(on_event=...)``.
+exact stream the experiment gateway (:mod:`repro.gateway`) serializes to
+clients over ``GET /experiments/{id}/events``; the CLI and tests
+subscribe to the same stream in-process via ``run_sweep(on_event=...)``.
 
 Subscribers must not raise (an exception would abort the sweep) and must
 not mutate payloads.

@@ -1,0 +1,84 @@
+"""Shared helpers for the gateway tests: tiny specs and in-process servers."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.gateway import GatewayApp, GatewayServer
+
+
+def tiny_spec_dict(**overrides) -> dict:
+    """A fast two-cell experiment spec (one rate, one replication)."""
+    spec = {
+        "schema": 1,
+        "protocols": ["scc-2s", "occ-bc"],
+        "arrival_rates": [60.0],
+        "replications": 1,
+        "num_transactions": 40,
+        "warmup_commits": 4,
+        "seed": 7,
+    }
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture
+def make_app(tmp_path):
+    """Factory building gateway apps over a store in ``tmp_path``.
+
+    Every app built is drained and closed at teardown, so tests never
+    leak worker threads.
+    """
+    apps = []
+
+    def build(store_name: str = "store.jsonl", **kwargs) -> GatewayApp:
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("workdir", str(tmp_path / f"work-{len(apps)}"))
+        app = GatewayApp(store=str(tmp_path / store_name), **kwargs)
+        apps.append(app)
+        return app
+
+    yield build
+    for app in apps:
+        app.close()
+
+
+@contextmanager
+def running_server(app: GatewayApp):
+    """Serve ``app`` on a background thread; yields the bound server.
+
+    Shuts the server down (draining the app) on exit.
+    """
+    server = GatewayServer(app, port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            await server.start()
+            started.set()
+            await server.run()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10), "gateway server failed to start"
+    try:
+        yield server
+    finally:
+        if not loop.is_closed():  # a test may have shut the server down
+            try:
+                loop.call_soon_threadsafe(server.request_shutdown)
+            except RuntimeError:
+                pass
+        thread.join(30)

@@ -1,0 +1,225 @@
+"""GatewayApp behavior: submit, dedup, quotas, breaker degradation, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway import (
+    CircuitBreaker,
+    ClientQuotas,
+    GatewayApp,
+    GatewayDraining,
+    QuotaExceeded,
+    UnknownExperiment,
+)
+
+from tests.gateway.conftest import tiny_spec_dict
+
+
+def wait_done(app: GatewayApp, experiment_id: str, timeout: float = 60.0) -> str:
+    status = app._get(experiment_id).wait(timeout=timeout)
+    assert status != "running", "experiment did not finish in time"
+    return status
+
+
+class TestSubmit:
+    def test_runs_an_experiment_to_done(self, make_app):
+        app = make_app()
+        status = app.submit(tiny_spec_dict(), client="alice")
+        assert status["total_cells"] == 2
+        assert status["enqueued_cells"] == 2
+        assert wait_done(app, status["id"]) == "done"
+        final = app.status(status["id"])
+        assert final["completed"] == 2
+        assert final["failed"] == []
+        assert len(app.results(status["id"])) == 2
+
+    def test_event_stream_shape(self, make_app):
+        app = make_app()
+        status = app.submit(tiny_spec_dict(), client="alice")
+        wait_done(app, status["id"])
+        events, done = app.events_since(status["id"], 0)
+        assert done
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "experiment_accepted"
+        assert kinds[-1] == "experiment_done"
+        assert kinds.count("cell_started") == 2
+        assert kinds.count("cell_completed") == 2
+        assert kinds.count("cell_outcome") == 2
+        outcomes = [e for e in events if e["kind"] == "cell_outcome"]
+        assert all(e["ok"] and not e["cached"] for e in outcomes)
+        assert all(e["summary"] is not None for e in outcomes)
+
+    def test_cursor_pagination(self, make_app):
+        app = make_app()
+        status = app.submit(tiny_spec_dict(), client="alice")
+        wait_done(app, status["id"])
+        head, _ = app.events_since(status["id"], 0)
+        tail, done = app.events_since(status["id"], len(head) - 1)
+        assert done
+        assert tail == head[-1:]
+
+    def test_invalid_spec_rejected_before_any_state(self, make_app):
+        app = make_app()
+        with pytest.raises(ConfigurationError):
+            app.submit({"schema": 1, "protocols": []}, client="alice")
+        assert app.list_experiments() == []
+        assert app.quotas.snapshot() == {}
+
+    def test_unknown_experiment_raises(self, make_app):
+        app = make_app()
+        with pytest.raises(UnknownExperiment):
+            app.status("missing")
+        with pytest.raises(UnknownExperiment):
+            app.events_since("missing", 0)
+
+
+class TestDedup:
+    def test_resubmission_is_fully_cached(self, make_app):
+        app = make_app()
+        first = app.submit(tiny_spec_dict(), client="alice")
+        wait_done(app, first["id"])
+        stored = len(app.results(first["id"]))
+        second = app.submit(tiny_spec_dict(), client="bob")
+        # Every cell served from the store: terminal synchronously.
+        assert second["status"] == "done"
+        assert second["cached_cells"] == 2
+        assert second["enqueued_cells"] == 0
+        events, _ = app.events_since(second["id"], 0)
+        outcomes = [e for e in events if e["kind"] == "cell_outcome"]
+        assert len(outcomes) == 2 and all(e["cached"] for e in outcomes)
+        assert len(app.results(second["id"])) == stored
+
+    def test_in_flight_cells_are_shared_not_recomputed(self, make_app):
+        release = threading.Event()
+        app = make_app(fault_hook=lambda cell: release.wait(30))
+        first = app.submit(tiny_spec_dict(), client="alice")
+        second = app.submit(tiny_spec_dict(), client="bob")
+        # Bob's grid is already in flight for alice: nothing re-enqueued.
+        assert second["enqueued_cells"] == 0
+        assert second["shared_cells"] + second["cached_cells"] == 2
+        release.set()
+        assert wait_done(app, first["id"]) == "done"
+        assert wait_done(app, second["id"]) == "done"
+        # One record per cell, not one per client.
+        with app._store_lock:
+            assert len(app._store) == 2
+        events, _ = app.events_since(second["id"], 0)
+        outcomes = [e for e in events if e["kind"] == "cell_outcome"]
+        assert len(outcomes) == 2 and all(e["cached"] for e in outcomes)
+
+    def test_cached_cells_do_not_charge_quota(self, make_app):
+        app = make_app(quotas=ClientQuotas(max_queued_cells=2))
+        first = app.submit(tiny_spec_dict(), client="alice")
+        wait_done(app, first["id"])
+        # 2 cached cells cost nothing, so a 2-cell cap still admits them.
+        second = app.submit(tiny_spec_dict(), client="alice")
+        assert second["status"] == "done"
+
+
+class TestQuotas:
+    def test_over_quota_client_rejected_others_undisturbed(self, make_app):
+        release = threading.Event()
+        app = make_app(
+            quotas=ClientQuotas(max_experiments=1),
+            fault_hook=lambda cell: release.wait(30),
+        )
+        running = app.submit(tiny_spec_dict(), client="alice")
+        with pytest.raises(QuotaExceeded):
+            app.submit(tiny_spec_dict(seed=99), client="alice")
+        # Bob has his own budget and is admitted.
+        other = app.submit(tiny_spec_dict(seed=42), client="bob")
+        release.set()
+        assert wait_done(app, running["id"]) == "done"
+        assert wait_done(app, other["id"]) == "done"
+
+    def test_experiment_slot_released_on_completion(self, make_app):
+        app = make_app(quotas=ClientQuotas(max_experiments=1))
+        first = app.submit(tiny_spec_dict(), client="alice")
+        wait_done(app, first["id"])
+        second = app.submit(tiny_spec_dict(seed=9), client="alice")
+        assert wait_done(app, second["id"]) == "done"
+
+
+class TestBreaker:
+    def test_failing_worker_parks_and_experiment_degrades(self, make_app):
+        def explode(cell):
+            raise RuntimeError("poisoned cell")
+
+        app = make_app(
+            workers=1,
+            breaker=CircuitBreaker(failure_threshold=2),
+            fault_hook=explode,
+        )
+        spec = tiny_spec_dict(
+            protocols=["scc-2s", "occ-bc", "wait-50"], replications=2
+        )
+        status = app.submit(spec, client="alice")
+        assert wait_done(app, status["id"]) == "partial"
+        final = app.status(status["id"])
+        # 2 real failures trip the breaker; the rest degrade without
+        # running.  Every cell is accounted for, none computed.
+        assert final["completed"] == final["total_cells"] == 6
+        assert len(final["failed"]) == 6
+        assert len(app.results(status["id"])) == 0
+        events, _ = app.events_since(status["id"], 0)
+        kinds = [event["kind"] for event in events]
+        assert "worker_lost" in kinds
+        degraded = [
+            e for e in events
+            if e["kind"] == "cell_outcome"
+            and e.get("error", {}).get("type") == "GatewayDegraded"
+        ]
+        assert len(degraded) == 4
+        health = app.health()
+        assert health["workers"]["gw-0"]["state"] == "parked"
+        assert health["breaker"]["gw-0"]["state"] == "open"
+
+    def test_success_keeps_the_circuit_closed(self, make_app):
+        app = make_app(workers=1, breaker=CircuitBreaker(failure_threshold=2))
+        status = app.submit(tiny_spec_dict(), client="alice")
+        assert wait_done(app, status["id"]) == "done"
+        assert app.health()["workers"]["gw-0"]["state"] in ("idle", "busy")
+
+
+class TestDrain:
+    def test_drain_finishes_leased_cells_and_rejects_submissions(
+        self, make_app
+    ):
+        started = threading.Event()
+        release = threading.Event()
+
+        def hold(cell):
+            started.set()
+            release.wait(30)
+
+        app = make_app(workers=1, fault_hook=hold)
+        status = app.submit(tiny_spec_dict(), client="alice")
+        assert started.wait(10)
+        drained = threading.Thread(target=app.drain)
+        drained.start()
+        deadline = time.monotonic() + 10
+        while not app.draining and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(GatewayDraining):
+            app.submit(tiny_spec_dict(seed=5), client="bob")
+        release.set()
+        drained.join(30)
+        assert not drained.is_alive()
+        # The leased cell finished and persisted; the rest stayed queued
+        # on the board, and the experiment was marked interrupted.
+        final = app.status(status["id"])
+        assert final["status"] == "interrupted"
+        assert 1 <= final["completed"] < final["total_cells"]
+        assert len(app.results(status["id"])) == final["completed"]
+        events, done = app.events_since(status["id"], 0)
+        assert done
+        assert events[-1]["kind"] == "experiment_interrupted"
+
+    def test_drain_is_idempotent(self, make_app):
+        app = make_app()
+        app.drain()
+        app.drain()
+        assert app.health()["status"] == "draining"

@@ -1,0 +1,97 @@
+"""Unit tests for the worker circuit breaker."""
+
+import pytest
+
+from repro.gateway.breaker import BREAKER_STATES, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_closed_allows_work(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        assert breaker.allow("w0")
+        assert not breaker.is_open("w0")
+
+    def test_opens_at_consecutive_failure_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        assert not breaker.record_failure("w0")
+        assert not breaker.record_failure("w0")
+        assert breaker.record_failure("w0")  # the tripping failure
+        assert breaker.is_open("w0")
+        assert not breaker.allow("w0")
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure("w0")
+        breaker.record_success("w0")
+        assert not breaker.record_failure("w0")  # streak restarted at 1
+        assert breaker.record_failure("w0")
+
+    def test_permanent_park_without_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        breaker.record_failure("w0")
+        clock.advance(1e9)
+        assert not breaker.allow("w0")  # no cooldown: parked forever
+
+    def test_half_open_probe_after_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=10, clock=clock
+        )
+        breaker.record_failure("w0")
+        assert not breaker.allow("w0")
+        clock.advance(10)
+        assert breaker.allow("w0")  # the half-open probe
+        breaker.record_success("w0")
+        assert breaker.allow("w0")
+        assert breaker.snapshot()["w0"]["state"] == "closed"
+
+    def test_half_open_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, cooldown_seconds=5, clock=clock
+        )
+        for _ in range(3):
+            breaker.record_failure("w0")
+        clock.advance(5)
+        assert breaker.allow("w0")
+        # One failure suffices in half-open, threshold notwithstanding.
+        assert breaker.record_failure("w0")
+        assert not breaker.allow("w0")
+
+    def test_workers_are_independent(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("w0")
+        assert not breaker.allow("w0")
+        assert breaker.allow("w1")
+
+    def test_reset_closes_the_circuit(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("w0")
+        breaker.reset("w0")
+        assert breaker.allow("w0")
+
+    def test_snapshot_counts_trips(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=1,
+                                 clock=FakeClock())
+        breaker.record_failure("w0")
+        snap = breaker.snapshot()
+        assert snap["w0"]["trips"] == 1
+        assert snap["w0"]["state"] in BREAKER_STATES
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=0)

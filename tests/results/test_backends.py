@@ -1,0 +1,76 @@
+"""Backend selection: sniffing, extensions, and the ambiguous-file error."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.results import AmbiguousStoreError, open_store
+from repro.results.backends import sniff_backend
+
+
+class TestSniffBackend:
+    def test_nonexistent_path_defaults_to_jsonl(self, tmp_path):
+        assert sniff_backend(tmp_path / "runs") == "jsonl"
+
+    def test_nonexistent_sqlite_extension(self, tmp_path):
+        assert sniff_backend(tmp_path / "runs.sqlite") == "sqlite"
+
+    def test_empty_file_with_jsonl_extension(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.touch()
+        assert sniff_backend(path) == "jsonl"
+
+    def test_empty_file_with_sqlite_extension(self, tmp_path):
+        path = tmp_path / "runs.db"
+        path.touch()
+        assert sniff_backend(path) == "sqlite"
+
+    def test_content_sniff_beats_extension(self, tmp_path):
+        path = tmp_path / "runs.sqlite"  # lying extension
+        path.write_text('{"fingerprint": "abc"}\n')
+        assert sniff_backend(path) == "jsonl"
+
+    def test_empty_unrecognized_extension_is_ambiguous(self, tmp_path):
+        path = tmp_path / "runs.dat"
+        path.touch()
+        with pytest.raises(AmbiguousStoreError) as info:
+            sniff_backend(path)
+        # The message names the candidates so the fix is self-evident.
+        message = str(info.value)
+        assert "jsonl" in message and "sqlite" in message
+        assert ".jsonl" in message and ".sqlite" in message
+        assert info.value.candidates == ("jsonl", "sqlite")
+        assert info.value.path == str(path)
+
+    def test_ambiguous_error_is_both_config_and_value_error(self, tmp_path):
+        path = tmp_path / "runs.bin"
+        path.touch()
+        with pytest.raises(ConfigurationError):
+            sniff_backend(path)
+        with pytest.raises(ValueError):
+            sniff_backend(path)
+
+
+class TestOpenStore:
+    def test_explicit_backend_bypasses_the_sniff(self, tmp_path):
+        path = tmp_path / "runs.dat"
+        path.touch()
+        store = open_store(path, backend="jsonl")
+        try:
+            assert store.backend == "jsonl"
+        finally:
+            store.close()
+
+    def test_open_store_surfaces_the_ambiguity(self, tmp_path):
+        path = tmp_path / "runs.dat"
+        path.touch()
+        with pytest.raises(AmbiguousStoreError):
+            open_store(path)
+
+    def test_instance_passthrough_checks_backend(self, tmp_path):
+        store = open_store(tmp_path / "runs.jsonl")
+        try:
+            assert open_store(store) is store
+            with pytest.raises(ConfigurationError):
+                open_store(store, backend="sqlite")
+        finally:
+            store.close()

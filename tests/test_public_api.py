@@ -27,6 +27,8 @@ def test_version():
         "repro.errors",
         "repro.experiments",
         "repro.experiments.spec",
+        "repro.gateway",
+        "repro.gateway.client",
         "repro.metrics",
         "repro.protocols",
         "repro.protocols.registry",
