@@ -43,8 +43,10 @@ defaults to ``fig13a`` so ``scc-experiments --scenario NAME`` works bare.
 in the run store are served from it, fresh cells are appended as they
 complete, and an interrupted invocation picks up where it died.
 ``--store-backend jsonl|sqlite`` forces the store backend; omitted, an
-existing file is sniffed by content and a new path decided by extension
-(``.sqlite``/``.sqlite3``/``.db`` mean SQLite).  ``--executor
+existing file is sniffed by content and a path with no content decided
+by extension (``.sqlite``/``.sqlite3``/``.db`` mean SQLite,
+``.jsonl``/``.json``/``.ndjson`` mean JSONL; any other extension is an
+error asking for the flag).  ``--executor
 distributed --workers N`` fans the sweep out to N worker "hosts" over a
 shared job board (see docs/ARCHITECTURE.md, "Distributed execution").
 ``--format json|csv`` replaces the table with the canonical
@@ -835,8 +837,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--store-backend", dest="store_backend",
         choices=list(STORE_BACKENDS), default=None,
         help="force the --store backend (default: sniff existing files by "
-        "content, pick by extension for new paths — .sqlite/.sqlite3/.db "
-        "mean sqlite, anything else jsonl)",
+        "content, pick by extension otherwise — .sqlite/.sqlite3/.db mean "
+        "sqlite, .jsonl/.json/.ndjson mean jsonl; an unrecognized "
+        "extension with nothing to sniff is an error asking for this flag)",
     )
     parser.add_argument(
         "--host", type=str, default="127.0.0.1",

@@ -333,6 +333,17 @@ class JobBoard:
             )
         }
 
+    def payload(self, index: int) -> Optional[Dict[str, Any]]:
+        """The decoded JSON payload of one cell (``None`` for no such cell).
+
+        The experiment gateway reads orphaned cells back through this
+        when it adopts a persisted board from a previous instance.
+        """
+        row = self._conn.execute(
+            "SELECT payload FROM cells WHERE idx = ?", (index,)
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
+
     def attempts(self, index: int) -> int:
         """How many times the cell has been claimed."""
         row = self._conn.execute(

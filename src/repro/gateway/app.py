@@ -11,7 +11,11 @@ the existing platform pieces into one long-running service:
 * **Job board** — every fresh cell is enqueued onto the PR 8 SQLite
   :class:`~repro.experiments.distributed.JobBoard` (one board per
   gateway, in ``workdir``), giving claims, leases, and durable queue
-  state that survives a drain.
+  state that survives a drain.  Each board payload carries the
+  submitting client and the full experiment spec, so a replacement
+  instance started on the same ``workdir`` *adopts* orphaned cells at
+  startup: they re-register under their original experiment ids and run
+  to completion instead of rotting on the board.
 * **Dedup by fingerprint** — a submitted cell whose
   :func:`~repro.results.fingerprint.cell_fingerprint` is already in the
   shared run store is served from it immediately (``cached=true`` on the
@@ -24,8 +28,10 @@ the existing platform pieces into one long-running service:
   :func:`~repro.experiments.parallel._execute_cell`, mark the board)
   against the shared store.  Worker failures feed the
   :class:`~repro.gateway.breaker.CircuitBreaker`, which parks a
-  repeatedly failing worker; failed cells degrade their experiments to
-  ``partial`` status instead of failing the sweep.
+  repeatedly failing worker — permanently by default, or until the
+  breaker's half-open probe when built with ``cooldown_seconds``;
+  failed cells degrade their experiments to ``partial`` status instead
+  of failing the sweep.
 * **Quotas** — :class:`~repro.gateway.quotas.ClientQuotas` admission
   control per ``X-Client``.
 * **Events** — every experiment owns a
@@ -95,6 +101,7 @@ GATEWAY_MARKERS = (
     "experiment_accepted",
     "experiment_done",
     "experiment_interrupted",
+    "experiment_recovered",
 )
 
 
@@ -323,11 +330,16 @@ class GatewayApp:
         workdir: Directory for the gateway's job board; ``None`` creates
             a private temp dir (removed by :meth:`close`).  A
             caller-supplied workdir is kept, so the board's queue state
-            survives a drain.
+            survives a drain — and a new app on the same workdir adopts
+            any cells a previous instance left pending (they re-register
+            under their original experiment ids and execute normally).
         quotas: Admission control; defaults to a permissive
             :class:`~repro.gateway.quotas.ClientQuotas`.
         breaker: Worker circuit breaker; defaults to parking a worker
-            after 3 consecutive failures, permanently.
+            after 3 consecutive failures, permanently.  A breaker built
+            with ``cooldown_seconds`` parks *temporarily* instead: the
+            parked worker keeps polling and wakes for the breaker's
+            half-open probe claim once the cooldown elapses.
         poll_seconds: Worker idle-claim poll interval.
         lease_seconds: Board lease stamped on claims.  Gateway workers
             are threads (they cannot vanish silently), so leases exist
@@ -379,6 +391,10 @@ class GatewayApp:
         self._draining = False
         self._closed = False
         self._stop = threading.Event()
+        # Adopt whatever a previous instance left on a persisted board
+        # *before* any worker starts claiming, so no claim can ever find
+        # a cell with no registered owner.
+        self._recover_orphans()
         self._workers: List[_Worker] = []
         for i in range(workers):
             worker = _Worker(f"gw-{i}")
@@ -489,12 +505,17 @@ class GatewayApp:
                 fingerprint = fingerprints[cell.index]
                 self._cells[index] = (exp, cell, fingerprint)
                 self._inflight[fingerprint] = []
+                # client + spec make the payload self-contained: a
+                # replacement instance can rebuild the experiment from
+                # the board alone (see _recover_orphans).
                 self._board.add(
                     index,
                     {
                         "experiment": exp.id,
+                        "client": client,
                         "fingerprint": fingerprint,
                         "cell": asdict(cell),
+                        "spec": spec.to_dict(),
                     },
                 )
             # Replay store-cached cells up front, exactly as run_sweep
@@ -526,6 +547,89 @@ class GatewayApp:
         return exp.describe()
 
     # ------------------------------------------------------------------
+    # board recovery
+    # ------------------------------------------------------------------
+
+    def _recover_orphans(self) -> None:
+        """Adopt cells a dead instance left behind on a persisted board.
+
+        A gateway drained (or killed) with queued work leaves those
+        cells ``pending`` — or ``claimed`` under a lease nobody will
+        ever extend, since gateway workers are threads of the dead
+        process — on the board file.  Runs once at startup, before the
+        worker pool exists: every orphan's payload carries its client
+        and the full experiment spec, so the cells re-register in
+        ``self._cells`` under their original experiment ids, visible in
+        ``GET /experiments`` and executed exactly like fresh work.
+        Recovered experiments are not charged against quotas (the
+        instance that accepted them already admitted them).  A payload
+        that cannot be rebuilt — schema drift, a pre-recovery board
+        format without the spec — is marked ``failed`` with a log line
+        rather than retried forever.
+        """
+        for index in sorted(self._board.indexes_in_state("claimed")):
+            self._board.requeue(index)
+        grouped: Dict[str, List[Tuple[int, dict]]] = {}
+        for index in sorted(self._board.indexes_in_state("pending")):
+            payload = self._board.payload(index)
+            if payload is not None:
+                experiment_id = str(payload.get("experiment"))
+                grouped.setdefault(experiment_id, []).append((index, payload))
+        for experiment_id, entries in grouped.items():
+            try:
+                first = entries[0][1]
+                spec = ExperimentSpec.from_dict(first["spec"])
+                client = str(first.get("client", "recovered"))
+                config = spec.to_config()
+                factories, spec_map = normalize_protocols(spec.protocols)
+                cells = [
+                    SweepCell(**payload["cell"]) for _, payload in entries
+                ]
+                fingerprints = {
+                    cell.index: str(payload["fingerprint"])
+                    for cell, (_, payload) in zip(cells, entries)
+                }
+            except Exception as exc:  # noqa: BLE001 - damaged payloads: drop
+                for index, _payload in entries:
+                    self._board.fail(index)
+                _log.warning(
+                    "dropping %d orphaned cell(s) of experiment %s: "
+                    "board payload cannot be rebuilt (%s)",
+                    len(entries), experiment_id, exc,
+                )
+                continue
+            exp = ExperimentState(
+                experiment_id=experiment_id,
+                client=client,
+                spec=spec,
+                config=config,
+                factories=factories,
+                spec_map=spec_map,
+                cells=cells,
+                fingerprints=fingerprints,
+            )
+            exp.enqueued = exp.total
+            self._experiments[exp.id] = exp
+            for (index, _payload), cell in zip(entries, cells):
+                fingerprint = fingerprints[cell.index]
+                self._cells[index] = (exp, cell, fingerprint)
+                self._inflight[fingerprint] = []
+            exp.publish_marker(
+                {
+                    "kind": "experiment_recovered",
+                    "experiment": exp.id,
+                    "client": client,
+                    "total": exp.total,
+                    "enqueued": exp.total,
+                }
+            )
+            _log.info(
+                "adopted experiment %s from the persisted board: "
+                "%d pending cell(s) re-registered for client %s",
+                exp.id, exp.total, client,
+            )
+
+    # ------------------------------------------------------------------
     # worker pool
     # ------------------------------------------------------------------
 
@@ -551,8 +655,30 @@ class GatewayApp:
                     worker.state = "stopped"
                     return
                 if not self.breaker.allow(worker.id):
-                    self._park(worker)
-                    return
+                    if self.breaker.cooldown_seconds is None:
+                        # No recovery configured: park permanently.
+                        self._park(worker)
+                        return
+                    # A cooldown breaker half-opens on its own, so park
+                    # in place and keep polling: allow() grants the
+                    # probe claim once the cooldown elapses.
+                    if worker.state != "parked":
+                        self._park(worker)
+                    if self._stop.wait(self.poll_seconds):
+                        worker.state = "stopped"
+                        return
+                    continue
+                if worker.state == "parked":
+                    worker.state = "idle"
+                    _log.info(
+                        "worker %s unparked for a half-open probe", worker.id
+                    )
+                    # Same kind the distributed executor emits when a
+                    # replacement host spawns: the fleet regained a worker.
+                    self._broadcast_lifecycle(
+                        "worker_started",
+                        {"worker": worker.id, "recovered": True},
+                    )
                 claimed = board.claim_payload(worker.id, self.lease_seconds)
                 if claimed is None:
                     time.sleep(self.poll_seconds)
@@ -562,8 +688,12 @@ class GatewayApp:
                     entry = self._cells.get(index)
                 if entry is None:
                     # Registered state is gone (drain raced the claim);
-                    # leave the cell pending for a future instance.
-                    board.requeue(index)
+                    # leave the cell pending for a future instance, with
+                    # a backoff so a miss can never busy-spin the board.
+                    board.requeue(
+                        index, not_before=time.time() + self.poll_seconds
+                    )
+                    time.sleep(self.poll_seconds)
                     continue
                 exp, cell, fingerprint = entry
                 worker.state = "busy"
@@ -630,10 +760,8 @@ class GatewayApp:
             if waiter_exp.deliver(waiter_outcome, cached=outcome.ok):
                 self.quotas.experiment_finished(waiter_exp.client)
 
-    def _park(self, worker: _Worker) -> None:
-        worker.state = "parked"
-        worker.cell = None
-        _log.warning("worker %s parked by the circuit breaker", worker.id)
+    def _broadcast_lifecycle(self, kind: str, payload: dict) -> None:
+        """Publish one worker-fleet event onto every running experiment."""
         with self._lock:
             running = [
                 exp
@@ -641,10 +769,28 @@ class GatewayApp:
                 if exp.status == "running"
             ]
         for exp in running:
-            exp.publish_lifecycle(
-                "worker_lost", {"worker": worker.id, "parked": True}
-            )
-        self._degrade_if_dead()
+            exp.publish_lifecycle(kind, payload)
+
+    def _park(self, worker: _Worker) -> None:
+        worker.state = "parked"
+        worker.cell = None
+        permanent = self.breaker.cooldown_seconds is None
+        _log.warning(
+            "worker %s parked by the circuit breaker%s",
+            worker.id,
+            "" if permanent else (
+                f" (half-open probe after "
+                f"{self.breaker.cooldown_seconds:g}s)"
+            ),
+        )
+        payload = {"worker": worker.id, "parked": True}
+        if not permanent:
+            payload["cooldown_seconds"] = self.breaker.cooldown_seconds
+        self._broadcast_lifecycle("worker_lost", payload)
+        # A cooldown breaker recovers on its own, so queued cells keep
+        # waiting; only a permanent park can strand the queue for good.
+        if permanent:
+            self._degrade_if_dead()
 
     def _degrade_if_dead(self) -> None:
         """Fail every queued cell once no worker can ever run it again.
@@ -762,12 +908,17 @@ class GatewayApp:
                 "breaker": self.breaker.snapshot(),
                 "quotas": self.quotas.snapshot(),
             }
-        with self._store_lock:
-            payload["store"] = {
-                "path": str(self._store.path),
-                "backend": self._store.backend,
-                "records": len(self._store),
-            }
+            # Same guard as the board: after drain() the listener keeps
+            # serving health probes, but the store is closed.
+            if self._closed:
+                payload["store"] = None
+            else:
+                with self._store_lock:
+                    payload["store"] = {
+                        "path": str(self._store.path),
+                        "backend": self._store.backend,
+                        "records": len(self._store),
+                    }
         return payload
 
     # ------------------------------------------------------------------
@@ -787,9 +938,11 @@ class GatewayApp:
         moment the drain starts.  Worker threads finish the cell they
         hold — its outcome is appended to the store and marked on the
         board — then exit without claiming more; queued cells stay
-        ``pending`` on the board file, which survives in ``workdir``.
-        Experiments still incomplete after the drain are marked
-        ``interrupted`` so their event streams terminate cleanly.
+        ``pending`` on the board file, which survives in ``workdir``,
+        and a replacement instance started on the same workdir adopts
+        them at startup (see :meth:`_recover_orphans`).  Experiments
+        still incomplete after the drain are marked ``interrupted`` so
+        their event streams terminate cleanly.
         """
         with self._lock:
             if self._closed:

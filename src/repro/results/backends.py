@@ -7,8 +7,11 @@ Everything that takes a store *path* — ``run_sweep(store=...)``, the CLI
 1. an explicit ``backend=`` name wins;
 2. an existing non-empty file is sniffed by content (SQLite's 16-byte
    magic header), so resuming a store never depends on its extension;
-3. otherwise the path's extension decides (``.sqlite``/``.sqlite3``/
-   ``.db`` mean SQLite), defaulting to JSONL.
+3. otherwise the path's extension decides — ``.sqlite``/``.sqlite3``/
+   ``.db`` mean SQLite, ``.jsonl``/``.json``/``.ndjson`` mean JSONL —
+   and a path with no content to sniff *and* no recognized extension
+   raises :class:`AmbiguousStoreError` (whether the file is missing or
+   pre-created empty) instead of silently guessing.
 
 :func:`merge_stores` combines per-worker shards into one store — the
 ``results merge`` verb — by replaying shard records in order, skipping
@@ -49,22 +52,24 @@ _JSONL_SUFFIXES = (".jsonl", ".json", ".ndjson")
 
 
 class AmbiguousStoreError(ConfigurationError, ValueError):
-    """An existing store file gives no signal which backend owns it.
+    """A store path gives no signal which backend owns it.
 
-    Raised by :func:`sniff_backend` for a file that exists but is empty
-    and whose extension names no registered backend: its content cannot
-    be sniffed and silently defaulting could bind a long-running service
-    (the gateway opens its shared store this way at startup) to the
-    wrong backend for the store's whole life.  ``ValueError`` is in the
-    bases so callers treating bad paths as value errors catch it too.
+    Raised by :func:`sniff_backend` for a path with no content to sniff
+    (a missing file or a pre-created empty one) whose extension names no
+    registered backend: silently defaulting could bind a long-running
+    service (the gateway opens its shared store this way at startup) to
+    the wrong backend for the store's whole life.  The rule is the same
+    for new and empty files, so pre-touching a store path never changes
+    which backend it opens as.  ``ValueError`` is in the bases so
+    callers treating bad paths as value errors catch it too.
     """
 
     def __init__(self, path: str) -> None:
         super().__init__(
-            f"cannot infer a store backend for {path!r}: the file exists "
-            "but is empty (no content to sniff) and its extension names "
-            f"no backend (candidates: {', '.join(STORE_BACKENDS)}); pass "
-            "an explicit backend or use a recognized extension "
+            f"cannot infer a store backend for {path!r}: no content to "
+            "sniff (the file is missing or empty) and the extension "
+            f"names no backend (candidates: {', '.join(STORE_BACKENDS)}); "
+            "pass an explicit backend or use a recognized extension "
             f"(sqlite: {', '.join(_SQLITE_SUFFIXES)}; "
             f"jsonl: {', '.join(_JSONL_SUFFIXES)})"
         )
@@ -92,30 +97,29 @@ def sniff_backend(path: PathLike) -> str:
 
     An existing non-empty file is identified by content — the SQLite
     magic header — so a store keeps opening correctly whatever it is
-    named.  New paths fall back to the extension, defaulting to JSONL.
+    named.  With no content to sniff (missing or empty file alike), a
+    recognized extension decides.
 
     Raises:
-        AmbiguousStoreError: For a file that exists but is *empty* with
-            an extension naming no backend — there is no content to
-            sniff and no declared intent, so guessing could silently
-            bind the caller to the wrong backend.
+        AmbiguousStoreError: For a path with no content to sniff and an
+            extension naming no backend — there is no declared intent,
+            so guessing could silently bind the caller to the wrong
+            backend.
     """
     path = os.fspath(path)
-    exists = True
     try:
         with open(path, "rb") as fh:
             head = fh.read(len(_SQLITE_MAGIC))
     except OSError:
-        exists = False
         head = b""
     if head:
         return "sqlite" if head == _SQLITE_MAGIC else "jsonl"
     lowered = path.lower()
     if lowered.endswith(_SQLITE_SUFFIXES):
         return "sqlite"
-    if exists and not lowered.endswith(_JSONL_SUFFIXES):
-        raise AmbiguousStoreError(path)
-    return "jsonl"
+    if lowered.endswith(_JSONL_SUFFIXES):
+        return "jsonl"
+    raise AmbiguousStoreError(path)
 
 
 def open_store(

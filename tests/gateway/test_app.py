@@ -183,6 +183,35 @@ class TestBreaker:
         assert wait_done(app, status["id"]) == "done"
         assert app.health()["workers"]["gw-0"]["state"] in ("idle", "busy")
 
+    def test_cooldown_breaker_half_opens_and_recovers(self, make_app):
+        failing = threading.Event()
+        failing.set()
+
+        def flaky(cell):
+            if failing.is_set():
+                raise RuntimeError("transient poison")
+
+        app = make_app(
+            workers=1,
+            breaker=CircuitBreaker(failure_threshold=1, cooldown_seconds=0.1),
+            fault_hook=flaky,
+        )
+        first = app.submit(tiny_spec_dict(protocols=["scc-2s"]), client="alice")
+        assert wait_done(app, first["id"]) == "partial"
+        deadline = time.monotonic() + 10
+        while app.health()["workers"]["gw-0"]["state"] != "parked":
+            assert time.monotonic() < deadline, "worker never parked"
+            time.sleep(0.01)
+        # The park is temporary: new work waits for the half-open probe
+        # instead of degrading to synthetic failures.
+        failing.clear()
+        second = app.submit(tiny_spec_dict(seed=11), client="alice")
+        assert wait_done(app, second["id"]) == "done"
+        health = app.health()
+        assert health["breaker"]["gw-0"]["state"] == "closed"
+        assert health["workers"]["gw-0"]["state"] in ("idle", "busy")
+        assert app.status(second["id"])["failed"] == []
+
 
 class TestDrain:
     def test_drain_finishes_leased_cells_and_rejects_submissions(
@@ -223,3 +252,98 @@ class TestDrain:
         app.drain()
         app.drain()
         assert app.health()["status"] == "draining"
+
+    def test_health_after_drain_reports_closed_store_and_board(self, make_app):
+        app = make_app()
+        app.drain()
+        health = app.health()
+        assert health["status"] == "draining"
+        assert health["store"] is None
+        assert health["board"] is None
+
+
+class TestRecovery:
+    def test_replacement_instance_adopts_pending_cells(self, tmp_path):
+        workdir = str(tmp_path / "work")
+        store_path = str(tmp_path / "store.jsonl")
+        started = threading.Event()
+        release = threading.Event()
+
+        def hold(cell):
+            started.set()
+            release.wait(30)
+
+        first = GatewayApp(
+            store=store_path, workers=1, workdir=workdir, fault_hook=hold
+        )
+        try:
+            status = first.submit(tiny_spec_dict(), client="alice")
+            assert started.wait(10)
+            drained = threading.Thread(target=first.drain)
+            drained.start()
+            # Workers stop claiming once the stop flag is up, so exactly
+            # the leased cell finishes and the rest stay pending.
+            deadline = time.monotonic() + 10
+            while not first._stop.is_set():
+                assert time.monotonic() < deadline, "drain never started"
+                time.sleep(0.01)
+            release.set()
+            drained.join(30)
+            assert not drained.is_alive()
+            interrupted = first.status(status["id"])
+            assert interrupted["status"] == "interrupted"
+            orphans = interrupted["total_cells"] - interrupted["completed"]
+            assert orphans >= 1
+        finally:
+            first.close()
+
+        # A replacement instance on the same workdir adopts the orphans
+        # under their original experiment id and runs them to completion.
+        second = GatewayApp(store=store_path, workers=1, workdir=workdir)
+        try:
+            recovered = second.status(status["id"])
+            assert recovered["client"] == "alice"
+            assert recovered["total_cells"] == orphans
+            assert recovered["enqueued_cells"] == orphans
+            assert wait_done(second, status["id"]) == "done"
+            events, done = second.events_since(status["id"], 0)
+            assert done
+            assert events[0]["kind"] == "experiment_recovered"
+            assert events[-1]["kind"] == "experiment_done"
+            kinds = [event["kind"] for event in events]
+            assert kinds.count("cell_outcome") == orphans
+            # Both instances' cells landed in the shared store: the
+            # whole grid now replays from cache.
+            resubmit = second.submit(tiny_spec_dict(), client="carol")
+            assert resubmit["status"] == "done"
+            assert resubmit["cached_cells"] == interrupted["total_cells"]
+            # The board is fully resolved: no orphan left to busy-spin on.
+            with second._lock:
+                counts = second._board.counts()
+            assert counts["pending"] == 0 and counts["claimed"] == 0
+        finally:
+            second.close()
+
+    def test_undecodable_orphan_payloads_are_failed_not_spun(self, tmp_path):
+        from repro.experiments.distributed import JobBoard
+
+        workdir = tmp_path / "work"
+        workdir.mkdir()
+        board = JobBoard(workdir / "board.sqlite")
+        # A pre-recovery board format: no spec to rebuild from.
+        board.add(0, {"experiment": "deadbeef", "fingerprint": "ff" * 16,
+                      "cell": {"index": 0, "protocol": "scc-2s",
+                               "arrival_rate": 60.0, "replication": 0}})
+        board.close()
+        app = GatewayApp(
+            store=str(tmp_path / "store.jsonl"), workers=1,
+            workdir=str(workdir),
+        )
+        try:
+            assert app.list_experiments() == []
+            with app._lock:
+                counts = app._board.counts()
+            assert counts["failed"] == 1
+            assert counts["pending"] == 0
+        finally:
+            app.close()

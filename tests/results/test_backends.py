@@ -8,11 +8,19 @@ from repro.results.backends import sniff_backend
 
 
 class TestSniffBackend:
-    def test_nonexistent_path_defaults_to_jsonl(self, tmp_path):
-        assert sniff_backend(tmp_path / "runs") == "jsonl"
+    def test_nonexistent_jsonl_extension(self, tmp_path):
+        assert sniff_backend(tmp_path / "runs.ndjson") == "jsonl"
 
     def test_nonexistent_sqlite_extension(self, tmp_path):
         assert sniff_backend(tmp_path / "runs.sqlite") == "sqlite"
+
+    def test_nonexistent_unrecognized_extension_is_ambiguous(self, tmp_path):
+        # Same contract as a pre-created empty file: pre-touching a
+        # store path must never change which backend it opens as.
+        with pytest.raises(AmbiguousStoreError):
+            sniff_backend(tmp_path / "runs")
+        with pytest.raises(AmbiguousStoreError):
+            sniff_backend(tmp_path / "runs.out")
 
     def test_empty_file_with_jsonl_extension(self, tmp_path):
         path = tmp_path / "runs.jsonl"
